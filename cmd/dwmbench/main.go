@@ -1,0 +1,105 @@
+// Command dwmbench runs the reproduction's experiment suite (E1–E9) and
+// prints each table/figure in paper form.
+//
+// Usage:
+//
+//	dwmbench [-seed N] [-csv] [-only E2,E5]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "seed for workloads and randomized policies")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	md := flag.Bool("md", false, "emit GitHub-flavored markdown instead of aligned tables")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	parallel := flag.Bool("parallel", false, "run experiments concurrently (E8 wall-clock timings get noisier)")
+	flag.Parse()
+
+	if err := run(*seed, *csv, *md, *parallel, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "dwmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, csv, md, parallel bool, only string) error {
+	want := map[string]bool{}
+	if only != "" {
+		for _, id := range strings.Split(only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	var selected []bench.Experiment
+	for _, e := range bench.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		selected = append(selected, e)
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("no experiments matched %q", only)
+	}
+
+	cfg := bench.Config{Seed: seed}
+	render := func(tbl *bench.Table, w *bytes.Buffer) error {
+		switch {
+		case csv:
+			if err := tbl.CSV(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			return nil
+		case md:
+			return tbl.Markdown(w)
+		default:
+			return tbl.Format(w)
+		}
+	}
+
+	outputs := make([]bytes.Buffer, len(selected))
+	errs := make([]error, len(selected))
+	if parallel {
+		var wg sync.WaitGroup
+		for i, e := range selected {
+			wg.Add(1)
+			go func(i int, e bench.Experiment) {
+				defer wg.Done()
+				tbl, err := e.Run(cfg)
+				if err != nil {
+					errs[i] = fmt.Errorf("%s: %w", e.ID, err)
+					return
+				}
+				errs[i] = render(tbl, &outputs[i])
+			}(i, e)
+		}
+		wg.Wait()
+	} else {
+		for i, e := range selected {
+			tbl, err := e.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			if err := render(tbl, &outputs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range selected {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		if _, err := outputs[i].WriteTo(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunOnlyFastExperiments(t *testing.T) {
+	if err := run(1, false, false, false, "E1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(1, true, false, false, "e1,E5"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	if err := run(1, false, true, false, "E1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunParallel(t *testing.T) {
+	if err := run(1, false, false, true, "E1,E5,E19"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoMatch(t *testing.T) {
+	if err := run(1, false, false, false, "E99"); err == nil {
+		t.Error("unknown experiment ID accepted")
+	}
+}

@@ -1,0 +1,129 @@
+// Command dwmplace computes a data placement for an access trace and
+// reports the predicted shift counts.
+//
+// Usage:
+//
+//	dwmplace -trace trace.txt [-policy proposed] [-ports 1] [-tapelen 0] [-seed 1] [-v]
+//
+// With -tapelen 0 the tape is sized to the working set. The tool prints
+// the shift count of the chosen policy next to the program-order baseline
+// and, with -v, the item → slot mapping.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dwm"
+	"repro/internal/graph"
+	"repro/internal/trace"
+	"repro/internal/viz"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "input trace file (dwmtrace format)")
+	policy := flag.String("policy", "proposed", "placement policy: "+strings.Join(core.PolicyNames(), ", "))
+	ports := flag.Int("ports", 1, "number of evenly spread access ports")
+	tapeLen := flag.Int("tapelen", 0, "tape length in word slots (0 = working-set size)")
+	seed := flag.Int64("seed", 1, "seed for randomized policies")
+	verbose := flag.Bool("v", false, "print the item -> slot mapping")
+	addr := flag.Bool("addr", false, "input is a raw address trace (R/W <addr> lines)")
+	wordBytes := flag.Int("wordbytes", 8, "word granularity for -addr traces")
+	flag.Parse()
+
+	if err := run(*tracePath, *policy, *ports, *tapeLen, *seed, *verbose, *addr, *wordBytes); err != nil {
+		fmt.Fprintln(os.Stderr, "dwmplace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, policy string, ports, tapeLen int, seed int64, verbose, addr bool, wordBytes int) error {
+	if tracePath == "" {
+		return fmt.Errorf("missing -trace")
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var tr *trace.Trace
+	if addr {
+		tr, _, err = trace.DecodeAddr(f, tracePath, wordBytes)
+	} else {
+		tr, err = trace.DecodeAny(f)
+	}
+	if err != nil {
+		return err
+	}
+	if tapeLen == 0 {
+		tapeLen = tr.NumItems
+	}
+	if tapeLen < tr.NumItems {
+		return fmt.Errorf("tape length %d smaller than working set %d", tapeLen, tr.NumItems)
+	}
+	if ports < 1 || ports > tapeLen {
+		return fmt.Errorf("invalid port count %d for tape length %d", ports, tapeLen)
+	}
+	portPos := dwm.SpreadPorts(tapeLen, ports)
+
+	g, err := graph.FromTrace(tr)
+	if err != nil {
+		return err
+	}
+	pol, err := core.PolicyByName(policy, seed)
+	if err != nil {
+		return err
+	}
+	p, err := pol.Place(tr, g)
+	if err != nil {
+		return err
+	}
+	// Policies emit compact placements; center the block for the device.
+	p, err = core.CenterOnPort(p, tapeLen, portPos[0])
+	if err != nil {
+		return err
+	}
+	shifts, err := cost.MultiPort(tr.Items(), p, portPos, tapeLen)
+	if err != nil {
+		return err
+	}
+
+	base, err := core.ProgramOrder(tr)
+	if err != nil {
+		return err
+	}
+	base, err = core.CenterOnPort(base, tapeLen, portPos[0])
+	if err != nil {
+		return err
+	}
+	baseShifts, err := cost.MultiPort(tr.Items(), base, portPos, tapeLen)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("trace:            %s (%d accesses, %d items)\n", tr.Name, tr.Len(), tr.NumItems)
+	fmt.Printf("device:           1 tape x %d slots, %d port(s) at %v\n", tapeLen, ports, portPos)
+	fmt.Printf("policy:           %s (%s)\n", pol.Name, pol.Description)
+	fmt.Printf("shifts:           %d\n", shifts)
+	fmt.Printf("program baseline: %d\n", baseShifts)
+	if baseShifts > 0 {
+		fmt.Printf("reduction:        %.1f%%\n", 100*float64(baseShifts-shifts)/float64(baseShifts))
+	}
+	if verbose {
+		m, err := viz.TapeMap(p, tr.Frequencies(), tapeLen, portPos)
+		if err != nil {
+			return err
+		}
+		fmt.Println("tape heat map (each cell = one slot, shaded by item access count; ^ = port):")
+		fmt.Println(m)
+		fmt.Println("placement (item -> slot):")
+		for item, slot := range p {
+			fmt.Printf("  %4d -> %4d\n", item, slot)
+		}
+	}
+	return nil
+}

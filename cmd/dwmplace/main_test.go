@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	tr := workload.FIR(8, 32)
+	path := filepath.Join(t.TempDir(), "t.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Encode(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunHappyPath(t *testing.T) {
+	path := writeTrace(t)
+	for _, pol := range []string{"proposed", "program", "greedy2opt"} {
+		if err := run(path, pol, 1, 0, 1, false, false, 8); err != nil {
+			t.Errorf("policy %s: %v", pol, err)
+		}
+	}
+	// Verbose, explicit tape length, multiple ports.
+	if err := run(path, "proposed", 2, 32, 1, true, false, 8); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTrace(t)
+	if err := run("", "proposed", 1, 0, 1, false, false, 8); err == nil {
+		t.Error("missing trace accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.txt"), "proposed", 1, 0, 1, false, false, 8); err == nil {
+		t.Error("nonexistent trace accepted")
+	}
+	if err := run(path, "bogus", 1, 0, 1, false, false, 8); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run(path, "proposed", 1, 4, 1, false, false, 8); err == nil {
+		t.Error("too-short tape accepted")
+	}
+	if err := run(path, "proposed", 0, 0, 1, false, false, 8); err == nil {
+		t.Error("zero ports accepted")
+	}
+	// Corrupt trace file.
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, "proposed", 1, 0, 1, false, false, 8); err == nil {
+		t.Error("corrupt trace accepted")
+	}
+}
+
+func TestRunAddressTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "addr.txt")
+	content := "R 0x1000\nW 0x1008\nR 0x1000\nR 0x1010\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "proposed", 1, 0, 1, false, true, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Bad word granularity.
+	if err := run(path, "proposed", 1, 0, 1, false, true, 3); err == nil {
+		t.Error("bad wordbytes accepted")
+	}
+}

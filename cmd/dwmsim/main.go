@@ -1,0 +1,127 @@
+// Command dwmsim simulates an access trace on a configured DWM device
+// under a chosen placement policy and prints the full device accounting
+// (shifts, reads, writes, latency, energy, per-tape breakdown).
+//
+// Usage:
+//
+//	dwmsim -trace trace.txt [-tapes 1] [-tapelen 0] [-ports 1] [-policy proposed] [-seed 1]
+//
+// With one tape the single-tape policies apply; with several tapes the
+// proposed multi-tape pipeline (partition portfolio + per-tape
+// arrangement) places the data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dwm"
+	"repro/internal/graph"
+	"repro/internal/layout"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "input trace file (dwmtrace format)")
+	tapes := flag.Int("tapes", 1, "number of tapes")
+	tapeLen := flag.Int("tapelen", 0, "slots per tape (0 = fit working set)")
+	ports := flag.Int("ports", 1, "ports per tape")
+	policy := flag.String("policy", "proposed", "single-tape policy: "+strings.Join(core.PolicyNames(), ", "))
+	seed := flag.Int64("seed", 1, "seed for randomized policies")
+	home := flag.Bool("home", false, "re-home tape heads after the run (HeadReturn policy)")
+	flag.Parse()
+
+	if err := run(*tracePath, *tapes, *tapeLen, *ports, *policy, *seed, *home); err != nil {
+		fmt.Fprintln(os.Stderr, "dwmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath string, tapes, tapeLen, ports int, policy string, seed int64, home bool) error {
+	if tracePath == "" {
+		return fmt.Errorf("missing -trace")
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.DecodeAny(f)
+	if err != nil {
+		return err
+	}
+	if tapeLen == 0 {
+		tapeLen = (tr.NumItems + tapes - 1) / tapes
+	}
+	if tapes*tapeLen < tr.NumItems {
+		return fmt.Errorf("%d items cannot fit on %d tapes of %d slots", tr.NumItems, tapes, tapeLen)
+	}
+	if ports < 1 || ports > tapeLen {
+		return fmt.Errorf("invalid port count %d for tape length %d", ports, tapeLen)
+	}
+	geom := dwm.Geometry{Tapes: tapes, DomainsPerTape: tapeLen, PortsPerTape: ports}
+	dev, err := dwm.NewDevice(geom, dwm.DefaultParams())
+	if err != nil {
+		return err
+	}
+
+	var mp layout.MultiPlacement
+	if tapes == 1 {
+		g, err := graph.FromTrace(tr)
+		if err != nil {
+			return err
+		}
+		pol, err := core.PolicyByName(policy, seed)
+		if err != nil {
+			return err
+		}
+		p, err := pol.Place(tr, g)
+		if err != nil {
+			return err
+		}
+		if p, err = core.CenterOnPort(p, tapeLen, geom.PortPositions()[0]); err != nil {
+			return err
+		}
+		mp = layout.SingleTape(p)
+		fmt.Printf("policy: %s (%s)\n", pol.Name, pol.Description)
+	} else {
+		mp, _, err = core.ProposeMultiTape(tr, tapes, tapeLen, geom.PortPositions())
+		if err != nil {
+			return err
+		}
+		fmt.Println("policy: proposed multi-tape pipeline (partition portfolio + per-tape arrangement)")
+	}
+
+	pol := sim.HeadStay
+	if home {
+		pol = sim.HeadReturn
+	}
+	s, err := sim.New(dev, mp, pol)
+	if err != nil {
+		return err
+	}
+	res, err := s.Run(tr)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("trace:   %s (%d accesses, %d items)\n", tr.Name, tr.Len(), tr.NumItems)
+	fmt.Printf("device:  %d tape(s) x %d slots, %d port(s)/tape at %v\n",
+		tapes, tapeLen, ports, geom.PortPositions())
+	fmt.Printf("shifts:  %d\n", res.Counters.Shifts)
+	fmt.Printf("reads:   %d\n", res.Counters.Reads)
+	fmt.Printf("writes:  %d\n", res.Counters.Writes)
+	fmt.Printf("latency: %.2f us\n", res.LatencyNS/1e3)
+	fmt.Printf("energy:  %.2f nJ\n", res.EnergyPJ/1e3)
+	if tapes > 1 {
+		fmt.Println("per-tape shifts:")
+		for i, c := range res.PerTape {
+			fmt.Printf("  tape %2d: %d\n", i, c.Shifts)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	tr := workload.FIR(8, 32)
+	path := filepath.Join(t.TempDir(), "t.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Encode(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSingleTape(t *testing.T) {
+	path := writeTrace(t)
+	if err := run(path, 1, 0, 1, "proposed", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 1, 0, 2, "organpipe", 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultiTape(t *testing.T) {
+	path := writeTrace(t)
+	if err := run(path, 4, 0, 1, "proposed", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 2, 8, 1, "proposed", 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTrace(t)
+	if err := run("", 1, 0, 1, "proposed", 1, false); err == nil {
+		t.Error("missing trace accepted")
+	}
+	if err := run(path, 2, 4, 1, "proposed", 1, false); err == nil {
+		t.Error("undersized device accepted")
+	}
+	if err := run(path, 1, 0, 0, "proposed", 1, false); err == nil {
+		t.Error("zero ports accepted")
+	}
+	if err := run(path, 1, 0, 1, "bogus", 1, false); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "none.txt"), 1, 0, 1, "proposed", 1, false); err == nil {
+		t.Error("nonexistent trace accepted")
+	}
+}

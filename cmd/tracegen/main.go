@@ -1,0 +1,81 @@
+// Command tracegen generates workload access traces in the dwmtrace text
+// format, either from the built-in benchmark suite or by compiling a
+// kernel-specification file (see internal/spec for the language).
+//
+// Usage:
+//
+//	tracegen -workload fir [-seed N] [-o trace.txt]
+//	tracegen -spec kernel.dwm [-o trace.txt]
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/spec"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "", "workload name (see -list)")
+	specPath := flag.String("spec", "", "kernel specification file to compile instead of -workload")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output file (default: stdout)")
+	bin := flag.Bool("binary", false, "emit the compact binary format instead of text")
+	list := flag.Bool("list", false, "list available workloads and exit")
+	flag.Parse()
+
+	if err := run(*name, *specPath, *seed, *out, *list, *bin); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name, specPath string, seed int64, out string, list, bin bool) error {
+	if list {
+		for _, g := range workload.Suite() {
+			fmt.Printf("%-10s %s\n", g.Name, g.Description)
+		}
+		return nil
+	}
+	var tr *trace.Trace
+	switch {
+	case specPath != "":
+		src, err := os.ReadFile(specPath)
+		if err != nil {
+			return err
+		}
+		prog, err := spec.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		if tr, err = prog.Trace(specPath); err != nil {
+			return err
+		}
+	case name != "":
+		g, err := workload.ByName(name)
+		if err != nil {
+			return err
+		}
+		tr = g.Make(seed)
+	default:
+		return fmt.Errorf("missing -workload or -spec (use -list to see workloads)")
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if bin {
+		return trace.EncodeBinary(w, tr)
+	}
+	return trace.Encode(w, tr)
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run("", "", 1, "", true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingWorkload(t *testing.T) {
+	if err := run("", "", 1, "", false, false); err == nil {
+		t.Error("missing workload accepted")
+	}
+	if err := run("bogus", "", 1, "", false, false); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunWritesDecodableTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fir.txt")
+	if err := run("fir", "", 7, out, false, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumItems != 64 || tr.Len() == 0 {
+		t.Errorf("decoded trace: items=%d len=%d", tr.NumItems, tr.Len())
+	}
+}
+
+func TestRunBadOutputPath(t *testing.T) {
+	if err := run("fir", "", 1, filepath.Join(t.TempDir(), "no", "such", "dir", "x.txt"), false, false); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func TestRunSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "k.dwm")
+	src := "array a 4\nloop i 0 4 { read a[i] }\n"
+	if err := os.WriteFile(specPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "t.txt")
+	if err := run("", specPath, 1, out, false, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumItems != 4 || tr.Len() != 4 {
+		t.Errorf("spec trace: items=%d len=%d", tr.NumItems, tr.Len())
+	}
+	// Broken spec file.
+	bad := filepath.Join(dir, "bad.dwm")
+	if err := os.WriteFile(bad, []byte("read a[0]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", bad, 1, "", false, false); err == nil {
+		t.Error("broken spec accepted")
+	}
+	if err := run("", filepath.Join(dir, "missing.dwm"), 1, "", false, false); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}
+
+func TestRunBinaryOutputRoundTrips(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fir.bin")
+	if err := run("fir", "", 7, out, false, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.DecodeAny(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumItems != 64 || tr.Len() == 0 {
+		t.Errorf("binary trace: items=%d len=%d", tr.NumItems, tr.Len())
+	}
+}

@@ -1,0 +1,31 @@
+// Package repro is a from-scratch Go reproduction of "Optimizing data
+// placement for reducing shift operations on domain wall memories"
+// (DAC 2015).
+//
+// The repository implements the full system the paper's evaluation needs:
+//
+//   - internal/dwm: the domain wall (racetrack) memory device model —
+//     tapes, domains, access ports, the shift engine, and latency/energy
+//     accounting.
+//   - internal/trace, internal/workload: access traces and the benchmark
+//     kernel generators that stand in for compiler-extracted traces.
+//   - internal/graph, internal/cost, internal/layout: the access
+//     transition graph, placement types, and exact shift-cost evaluators.
+//   - internal/core: the paper's contribution — shift-minimizing
+//     placement algorithms (baselines, greedy chain growth, exact DP and
+//     branch-and-bound, 2-opt/insertion local search, simulated
+//     annealing, port-aware refinement, and multi-tape partitioning).
+//   - internal/sim: the trace-driven device simulator used as ground
+//     truth.
+//   - Extensions: internal/adaptive (online reorganization),
+//     internal/cache (SRAM miss filter), internal/spec (kernel DSL),
+//     internal/endurance (variation-aware lifetime), internal/addrmap
+//     (main-memory interleaving), internal/cfg (instruction traces),
+//     internal/sched (request scheduling).
+//   - internal/bench: the experiment harness reproducing every
+//     table/figure (E1–E9) plus thirteen extension studies (E10–E22),
+//     driven by cmd/dwmbench and the root benchmarks in bench_test.go.
+//
+// See README.md for a quickstart, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for measured results.
+package repro

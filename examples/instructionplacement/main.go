@@ -1,0 +1,74 @@
+// Instruction placement: a DWM used as an instruction scratchpad. Basic
+// blocks are the placeable items; the "trace" is the dynamic basic-block
+// sequence of a control-flow graph executed with data-dependent branches.
+// Placing blocks that frequently follow each other in adjacent tape slots
+// minimizes the instruction-fetch shift overhead — the same optimization
+// the paper applies to data, exercised on a different input domain.
+//
+// Run with: go run ./examples/instructionplacement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+)
+
+func main() {
+	// A hot loop with a 70/30 if/else diamond, a 2% error path, and a 5%
+	// exit, executed 400 times with data-dependent branches.
+	g, err := cfg.Loop(0.7, 0.02, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := g.Execute(400, 0, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dynamic block trace: %d block fetches over %d blocks\n", tr.Len(), g.Blocks)
+
+	ag, err := graph.FromTrace(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Layout in block-number order (what a naive linker emits) versus the
+	// proposed placement versus the provable optimum (the instance is
+	// small enough for the exact DP).
+	naive, err := core.ProgramOrder(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	naiveCost, err := cost.Linear(ag, naive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proposed, propCost, err := core.Propose(tr, ag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, optCost, err := core.ExactDP(ag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	order, err := proposed.Order()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive layout shifts:    %d\n", naiveCost)
+	fmt.Printf("proposed layout shifts: %d (%.1f%% reduction)\n",
+		propCost, 100*float64(naiveCost-propCost)/float64(naiveCost))
+	gap := 0.0
+	if optCost > 0 {
+		gap = 100 * float64(propCost-optCost) / float64(optCost)
+	}
+	fmt.Printf("optimal shifts:         %d (proposed gap %.1f%%)\n", optCost, gap)
+	fmt.Printf("proposed tape order:    %v\n", order)
+	fmt.Println("\nnote: the hot loop blocks (1,2,3,4) end up contiguous; the cold")
+	fmt.Println("error path (5) and exit (6) are pushed to the tape edge.")
+}

@@ -1,0 +1,66 @@
+// Multi-tape placement: a working set larger than one tape spread over a
+// DWM array. The example sweeps the tape count, compares the naive packed
+// layout against the proposed partition-portfolio pipeline, and prints the
+// per-tape load so the effect of affinity partitioning is visible.
+//
+// Run with: go run ./examples/multitape
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dwm"
+	"repro/internal/workload"
+)
+
+func main() {
+	tr := workload.MatMul(6) // 108 items: A, B, C matrices
+	fmt.Printf("workload %q: %d accesses over %d items\n\n", tr.Name, tr.Len(), tr.NumItems)
+
+	fmt.Printf("%6s %8s %10s %10s %10s\n", "tapes", "tapelen", "packed", "proposed", "reduction")
+	for _, tapes := range []int{1, 2, 4, 8} {
+		tapeLen := (tr.NumItems + tapes - 1) / tapes
+		ports := dwm.SpreadPorts(tapeLen, 1)
+		seq := tr.Items()
+
+		contig, err := core.ContiguousPartition(tr, tapes, tapeLen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		packed, err := core.PackedPlacement(tr, contig, tapes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := cost.MultiTape(seq, packed, tapes, tapeLen, ports)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		mp, prop, err := core.ProposeMultiTape(tr, tapes, tapeLen, ports)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %8d %10d %10d %9.1f%%\n",
+			tapes, tapeLen, base, prop, 100*float64(base-prop)/float64(base))
+
+		if tapes == 4 {
+			// Show where the proposed pipeline put the three matrices.
+			counts := make([][3]int, tapes)
+			n := 36 // elements per matrix
+			for item, tp := range mp.Tape {
+				counts[tp][item/n]++
+			}
+			fmt.Println("\n  tape composition at 4 tapes (A/B/C elements per tape):")
+			for tp, c := range counts {
+				fmt.Printf("    tape %d: A=%2d B=%2d C=%2d\n", tp, c[0], c[1], c[2])
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("shorter tapes shrink worst-case shift distance; the proposed")
+	fmt.Println("pipeline compounds that with affinity partitioning and per-tape")
+	fmt.Println("arrangement.")
+}

@@ -1,0 +1,75 @@
+// Quickstart: generate a workload trace, compute the proposed placement,
+// and compare simulated shift counts against the program-order baseline.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dwm"
+	"repro/internal/graph"
+	"repro/internal/layout"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. A workload: a 32-tap FIR filter. The trace records every memory
+	// access the kernel performs on its delay line and coefficients.
+	tr := workload.FIR(32, 256)
+	fmt.Printf("workload %q: %d accesses over %d items\n", tr.Name, tr.Len(), tr.NumItems)
+
+	// 2. A DWM device: one tape sized to the working set, one centered
+	// read/write port.
+	geom := dwm.Geometry{Tapes: 1, DomainsPerTape: tr.NumItems, PortsPerTape: 1}
+	port := geom.PortPositions()[0]
+
+	// 3. Two placements: the compiler's first-touch order, and the
+	// proposed shift-minimizing pipeline.
+	baseline, err := core.ProgramOrder(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := graph.FromTrace(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proposed, _, err := core.Propose(tr, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Simulate both and compare.
+	for _, c := range []struct {
+		name string
+		p    layout.Placement
+	}{{"program order", baseline}, {"proposed", proposed}} {
+		p, err := core.CenterOnPort(c.p, geom.DomainsPerTape, port)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := simulate(tr, geom, p)
+		fmt.Printf("%-14s shifts=%-8d latency=%7.1fus energy=%7.1fnJ\n",
+			c.name, res.Counters.Shifts, res.LatencyNS/1e3, res.EnergyPJ/1e3)
+	}
+}
+
+func simulate(tr *trace.Trace, geom dwm.Geometry, p layout.Placement) sim.Result {
+	dev, err := dwm.NewDevice(geom, dwm.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := sim.NewSingleTape(dev, p, sim.HeadStay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Run(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

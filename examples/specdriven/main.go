@@ -1,0 +1,97 @@
+// Spec-driven placement: write a kernel in the specification language,
+// compile it to a trace, place it, and visualize where the hot data
+// landed. This is the workflow for a kernel the built-in suite does not
+// cover — here, a small bubble-sort-like compare-exchange network plus a
+// lookup table.
+//
+// Run with: go run ./examples/specdriven
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/spec"
+	"repro/internal/viz"
+)
+
+const kernel = `
+# Odd-even transposition network over 16 keys with a 16-entry rank LUT.
+array keys 16
+array lut 16
+
+loop round 0 16 {
+    # even phase: compare-exchange (2i, 2i+1)
+    loop i 0 8 {
+        read keys[2*i]
+        read keys[2*i+1]
+        write keys[2*i]
+        write keys[2*i+1]
+    }
+    # odd phase: compare-exchange (2i+1, 2i+2)
+    loop i 0 7 {
+        read keys[2*i+1]
+        read keys[2*i+2]
+        write keys[2*i+1]
+        write keys[2*i+2]
+    }
+    # rank lookup for the round result
+    loop i 0 16 {
+        read keys[i]
+        read lut[i]
+    }
+}
+`
+
+func main() {
+	prog, err := spec.Parse(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := prog.Trace("odd-even sort + LUT")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled spec: arrays %v, %d items, %d accesses\n\n",
+		prog.ArrayNames(), prog.Items(), tr.Len())
+
+	g, err := graph.FromTrace(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := core.ProgramOrder(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proposed, _, err := core.Propose(tr, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Object-granularity variant: arrays stay contiguous.
+	grouped, groupedCost, err := core.GroupedPropose(tr, prog.Groups())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	port := []int{tr.NumItems / 2}
+	show := func(label string, p []int) {
+		c, err := cost.MultiPort(tr.Items(), p, port, tr.NumItems)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := viz.TapeMap(p, tr.Frequencies(), tr.NumItems, port)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %8d shifts\n%s\n", label, c, m)
+	}
+	show("program order", baseline)
+	show("proposed", proposed)
+	show("object-granular", grouped)
+	_ = groupedCost
+	fmt.Println("the proposed map interleaves keys[] with their lut[] partners; the")
+	fmt.Println("object-granular map keeps the two arrays separate and pays for it.")
+}

@@ -1,0 +1,112 @@
+package adaptive
+
+import (
+	"sort"
+)
+
+// Static is the no-op policy: the layout never changes. It is the control
+// arm of experiment E10.
+type Static struct{}
+
+// Name implements Policy.
+func (Static) Name() string { return "static" }
+
+// AfterAccess implements Policy (no reorganization).
+func (Static) AfterAccess(*Mover, int) error { return nil }
+
+// Transpose moves an accessed item one slot closer to the port by
+// swapping it with its neighbor, the tape analog of the transposition
+// rule for self-organizing lists. Frequently accessed items drift toward
+// the port over time; each step costs one adjacent swap.
+type Transpose struct{}
+
+// Name implements Policy.
+func (Transpose) Name() string { return "transpose" }
+
+// AfterAccess implements Policy.
+func (Transpose) AfterAccess(m *Mover, item int) error {
+	slot := m.SlotOf(item)
+	port := m.Port()
+	switch {
+	case slot == port:
+		return nil
+	case slot > port:
+		return m.Swap(slot, slot-1)
+	default:
+		return m.Swap(slot, slot+1)
+	}
+}
+
+// Epoch counts accesses and, every Window accesses, physically rebuilds
+// the organ-pipe layout for the counts observed in the window, then
+// resets the counts. Reorganization pays the real device cost of every
+// swap performed.
+type Epoch struct {
+	// Window is the epoch length in accesses; 0 selects 1024.
+	Window int
+
+	seen   int
+	counts []int64
+}
+
+// Name implements Policy.
+func (e *Epoch) Name() string { return "epoch" }
+
+// AfterAccess implements Policy.
+func (e *Epoch) AfterAccess(m *Mover, item int) error {
+	if e.counts == nil {
+		e.counts = make([]int64, m.Items())
+	}
+	e.counts[item]++
+	e.seen++
+	window := e.Window
+	if window <= 0 {
+		window = 1024
+	}
+	if e.seen < window {
+		return nil
+	}
+	e.seen = 0
+	defer func() {
+		for i := range e.counts {
+			e.counts[i] = 0
+		}
+	}()
+
+	// Target: organ-pipe by window counts — hottest at the port slot,
+	// alternating outward. Only the order of *slots by distance* matters.
+	n := m.Items()
+	tapeLen := m.TapeLen()
+	port := m.Port()
+	slots := make([]int, 0, n)
+	slots = append(slots, port)
+	for d := 1; len(slots) < n; d++ {
+		if port-d >= 0 {
+			slots = append(slots, port-d)
+		}
+		if port+d < tapeLen && len(slots) < n {
+			slots = append(slots, port+d)
+		}
+	}
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i
+	}
+	sort.SliceStable(items, func(a, b int) bool {
+		if e.counts[items[a]] != e.counts[items[b]] {
+			return e.counts[items[a]] > e.counts[items[b]]
+		}
+		return items[a] < items[b]
+	})
+	// Realize the permutation with swaps: put items[rank] into
+	// slots[rank], following displacement cycles.
+	for rank, item := range items {
+		target := slots[rank]
+		for m.SlotOf(item) != target {
+			if err := m.Swap(m.SlotOf(item), target); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

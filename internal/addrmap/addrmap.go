@@ -1,0 +1,166 @@
+// Package addrmap models the address-interleaving layer of a DWM main
+// memory: how a linear word address space is spread across the tape
+// array. Unlike the placement problem (which permutes items freely), the
+// interleaving function is fixed in the memory controller — but its
+// choice interacts strongly with access patterns: tape-major keeps
+// sequential words on one tape (1 shift per step), striping spreads
+// consecutive words across tapes (shifts amortize across heads), and
+// block interleaving trades between the two. Experiment E19 sweeps
+// access stride against the three mappings.
+package addrmap
+
+import (
+	"fmt"
+
+	"repro/internal/dwm"
+)
+
+// Mapping maps linear word indices onto device addresses.
+type Mapping interface {
+	// Name identifies the mapping in tables.
+	Name() string
+	// Words returns the address space size.
+	Words() int
+	// Map returns the device address of a word; callers must pass
+	// word in [0, Words()).
+	Map(word int) dwm.Address
+}
+
+// geometryWords validates that the geometry is usable and returns its
+// capacity.
+func geometryWords(g dwm.Geometry) (int, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	return g.Words(), nil
+}
+
+// TapeMajor places consecutive words in consecutive slots of the same
+// tape, filling tapes one after another (the "contiguous" mapping).
+type TapeMajor struct {
+	tapes, slots int
+}
+
+// NewTapeMajor builds the mapping for a geometry.
+func NewTapeMajor(g dwm.Geometry) (TapeMajor, error) {
+	if _, err := geometryWords(g); err != nil {
+		return TapeMajor{}, err
+	}
+	return TapeMajor{tapes: g.Tapes, slots: g.DomainsPerTape}, nil
+}
+
+// Name implements Mapping.
+func (m TapeMajor) Name() string { return "tape-major" }
+
+// Words implements Mapping.
+func (m TapeMajor) Words() int { return m.tapes * m.slots }
+
+// Map implements Mapping.
+func (m TapeMajor) Map(word int) dwm.Address {
+	return dwm.Address{Tape: word / m.slots, Slot: word % m.slots}
+}
+
+// Striped places consecutive words on consecutive tapes (word-level
+// interleaving, the DRAM-channel analog).
+type Striped struct {
+	tapes, slots int
+}
+
+// NewStriped builds the mapping for a geometry.
+func NewStriped(g dwm.Geometry) (Striped, error) {
+	if _, err := geometryWords(g); err != nil {
+		return Striped{}, err
+	}
+	return Striped{tapes: g.Tapes, slots: g.DomainsPerTape}, nil
+}
+
+// Name implements Mapping.
+func (m Striped) Name() string { return "striped" }
+
+// Words implements Mapping.
+func (m Striped) Words() int { return m.tapes * m.slots }
+
+// Map implements Mapping.
+func (m Striped) Map(word int) dwm.Address {
+	return dwm.Address{Tape: word % m.tapes, Slot: word / m.tapes}
+}
+
+// BlockInterleaved places blocks of Block consecutive words per tape
+// before moving to the next tape (cache-line-grained interleaving).
+type BlockInterleaved struct {
+	tapes, slots, block int
+}
+
+// NewBlockInterleaved builds the mapping; block must divide the tape
+// length so blocks never straddle a wrap.
+func NewBlockInterleaved(g dwm.Geometry, block int) (BlockInterleaved, error) {
+	if _, err := geometryWords(g); err != nil {
+		return BlockInterleaved{}, err
+	}
+	if block <= 0 || g.DomainsPerTape%block != 0 {
+		return BlockInterleaved{}, fmt.Errorf(
+			"addrmap: block %d must be positive and divide tape length %d", block, g.DomainsPerTape)
+	}
+	return BlockInterleaved{tapes: g.Tapes, slots: g.DomainsPerTape, block: block}, nil
+}
+
+// Name implements Mapping.
+func (m BlockInterleaved) Name() string { return fmt.Sprintf("block-%d", m.block) }
+
+// Words implements Mapping.
+func (m BlockInterleaved) Words() int { return m.tapes * m.slots }
+
+// Map implements Mapping.
+func (m BlockInterleaved) Map(word int) dwm.Address {
+	blk := word / m.block
+	return dwm.Address{
+		Tape: blk % m.tapes,
+		Slot: (blk/m.tapes)*m.block + word%m.block,
+	}
+}
+
+// Sweep runs an access pattern (a sequence of linear word indices)
+// against a fresh device under the mapping and returns the total shifts.
+func Sweep(g dwm.Geometry, p dwm.Params, m Mapping, words []int) (int64, error) {
+	dev, err := dwm.NewDevice(g, p)
+	if err != nil {
+		return 0, err
+	}
+	if m.Words() != g.Words() {
+		return 0, fmt.Errorf("addrmap: mapping covers %d words, device has %d", m.Words(), g.Words())
+	}
+	for i, w := range words {
+		if w < 0 || w >= m.Words() {
+			return 0, fmt.Errorf("addrmap: access %d to word %d outside [0,%d)", i, w, m.Words())
+		}
+		if _, _, err := dev.Read(m.Map(w)); err != nil {
+			return 0, err
+		}
+	}
+	return dev.Counters().Shifts, nil
+}
+
+// Patterns used by E19.
+
+// Sequential returns reps passes over the whole address space in order.
+func Sequential(words, reps int) []int {
+	out := make([]int, 0, words*reps)
+	for r := 0; r < reps; r++ {
+		for w := 0; w < words; w++ {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Strided returns count accesses stepping by stride, wrapping at the
+// address-space size.
+func Strided(words, stride, count int) []int {
+	out := make([]int, count)
+	w := 0
+	for i := range out {
+		out[i] = w
+		w = (w + stride) % words
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package addrmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dwm"
+)
+
+var testGeom = dwm.Geometry{Tapes: 4, DomainsPerTape: 16, PortsPerTape: 1}
+
+func TestConstructorsValidate(t *testing.T) {
+	bad := dwm.Geometry{}
+	if _, err := NewTapeMajor(bad); err == nil {
+		t.Error("TapeMajor accepted bad geometry")
+	}
+	if _, err := NewStriped(bad); err == nil {
+		t.Error("Striped accepted bad geometry")
+	}
+	if _, err := NewBlockInterleaved(bad, 4); err == nil {
+		t.Error("BlockInterleaved accepted bad geometry")
+	}
+	if _, err := NewBlockInterleaved(testGeom, 0); err == nil {
+		t.Error("block 0 accepted")
+	}
+	if _, err := NewBlockInterleaved(testGeom, 5); err == nil {
+		t.Error("non-dividing block accepted")
+	}
+}
+
+func TestMappingKnownAddresses(t *testing.T) {
+	tm, err := NewTapeMajor(testGeom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := tm.Map(17); a != (dwm.Address{Tape: 1, Slot: 1}) {
+		t.Errorf("tape-major Map(17) = %+v", a)
+	}
+	st, err := NewStriped(testGeom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := st.Map(17); a != (dwm.Address{Tape: 1, Slot: 4}) {
+		t.Errorf("striped Map(17) = %+v", a)
+	}
+	bi, err := NewBlockInterleaved(testGeom, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Word 17: block 4 -> tape 0, slot (4/4)*4 + 1 = 5.
+	if a := bi.Map(17); a != (dwm.Address{Tape: 0, Slot: 5}) {
+		t.Errorf("block Map(17) = %+v", a)
+	}
+	if bi.Name() != "block-4" {
+		t.Errorf("Name = %q", bi.Name())
+	}
+}
+
+// Property: every mapping is a bijection onto the device's address space.
+func TestMappingsAreBijections(t *testing.T) {
+	tm, _ := NewTapeMajor(testGeom)
+	st, _ := NewStriped(testGeom)
+	bi, _ := NewBlockInterleaved(testGeom, 4)
+	for _, m := range []Mapping{tm, st, bi} {
+		seen := map[dwm.Address]bool{}
+		for w := 0; w < m.Words(); w++ {
+			a := m.Map(w)
+			if a.Tape < 0 || a.Tape >= testGeom.Tapes || a.Slot < 0 || a.Slot >= testGeom.DomainsPerTape {
+				t.Fatalf("%s: Map(%d) = %+v out of range", m.Name(), w, a)
+			}
+			if seen[a] {
+				t.Fatalf("%s: Map(%d) = %+v collides", m.Name(), w, a)
+			}
+			seen[a] = true
+		}
+		if len(seen) != testGeom.Words() {
+			t.Fatalf("%s: covered %d of %d", m.Name(), len(seen), testGeom.Words())
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	tm, _ := NewTapeMajor(testGeom)
+	if _, err := Sweep(testGeom, dwm.DefaultParams(), tm, []int{999}); err == nil {
+		t.Error("out-of-range word accepted")
+	}
+	other := dwm.Geometry{Tapes: 2, DomainsPerTape: 16, PortsPerTape: 1}
+	if _, err := Sweep(other, dwm.DefaultParams(), tm, []int{0}); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}
+
+func TestSequentialSweepCosts(t *testing.T) {
+	// Sequential pass: tape-major walks each tape end to end (seek to
+	// slot 0 then 15 steps of 1, per tape); striped advances one slot per
+	// T accesses — the same slot walk split across tapes. Both are cheap;
+	// random is not. Verify exact tape-major cost: per tape, first access
+	// seeks from home (port 8) to slot 0 = 8, then 15 single shifts = 23;
+	// 4 tapes = 92.
+	tm, _ := NewTapeMajor(testGeom)
+	seq := Sequential(testGeom.Words(), 1)
+	got, err := Sweep(testGeom, dwm.DefaultParams(), tm, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 92 {
+		t.Errorf("tape-major sequential = %d, want 92", got)
+	}
+	st, _ := NewStriped(testGeom)
+	gotS, err := Sweep(testGeom, dwm.DefaultParams(), st, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotS != 92 { // same per-tape walk, interleaved in time
+		t.Errorf("striped sequential = %d, want 92", gotS)
+	}
+}
+
+func TestStridedExposesMappingDifferences(t *testing.T) {
+	// Stride = #tapes on striped mapping stays on ONE tape stepping one
+	// slot (cheap); on tape-major, stride 4 jumps 4 slots per access on
+	// one tape (4x the shifts).
+	st, _ := NewStriped(testGeom)
+	tm, _ := NewTapeMajor(testGeom)
+	pattern := Strided(testGeom.Words(), testGeom.Tapes, 64)
+	cStriped, err := Sweep(testGeom, dwm.DefaultParams(), st, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cTapeMajor, err := Sweep(testGeom, dwm.DefaultParams(), tm, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cStriped >= cTapeMajor {
+		t.Errorf("striped (%d) should beat tape-major (%d) at stride=#tapes",
+			cStriped, cTapeMajor)
+	}
+}
+
+func TestPatternGenerators(t *testing.T) {
+	seq := Sequential(4, 2)
+	want := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("Sequential = %v", seq)
+		}
+	}
+	str := Strided(8, 3, 5)
+	wantS := []int{0, 3, 6, 1, 4}
+	for i := range wantS {
+		if str[i] != wantS[i] {
+			t.Fatalf("Strided = %v", str)
+		}
+	}
+}
+
+// Property: total shifts are mapping-independent for single-access
+// patterns repeated from home (the seek distance is a permutation of the
+// same multiset only for full sweeps, so we assert a weaker invariant:
+// sweeps never error and shifts are non-negative).
+func TestSweepProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tm, err := NewTapeMajor(testGeom)
+		if err != nil {
+			return false
+		}
+		var pat []int
+		for i := 0; i < 200; i++ {
+			pat = append(pat, rng.Intn(testGeom.Words()))
+		}
+		c, err := Sweep(testGeom, dwm.DefaultParams(), tm, pat)
+		return err == nil && c >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

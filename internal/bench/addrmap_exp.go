@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addrmap"
+	"repro/internal/dwm"
+)
+
+// E19Interleaving evaluates the address-interleaving layer of a DWM main
+// memory: total shifts for sequential, strided, and random sweeps under
+// tape-major, word-striped, and block-interleaved mappings. The classic
+// shape: sequential is cheap everywhere; stride equal to the interleave
+// width defeats striping back onto a single tape; random is
+// mapping-independent.
+func E19Interleaving(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E19",
+		Title:   "Address interleaving vs access pattern (extension)",
+		Headers: []string{"pattern", "tape-major", "striped", "block-8"},
+		Notes: []string{
+			"8 tapes x 64 slots, one centered port per tape; 4096 reads per pattern",
+		},
+	}
+	geom := dwm.Geometry{Tapes: 8, DomainsPerTape: 64, PortsPerTape: 1}
+	params := dwm.DefaultParams()
+	tm, err := addrmap.NewTapeMajor(geom)
+	if err != nil {
+		return nil, err
+	}
+	st, err := addrmap.NewStriped(geom)
+	if err != nil {
+		return nil, err
+	}
+	bi, err := addrmap.NewBlockInterleaved(geom, 8)
+	if err != nil {
+		return nil, err
+	}
+	mappings := []addrmap.Mapping{tm, st, bi}
+
+	words := geom.Words()
+	const accesses = 4096
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	random := make([]int, accesses)
+	for i := range random {
+		random[i] = rng.Intn(words)
+	}
+	patterns := []struct {
+		name string
+		seq  []int
+	}{
+		{"sequential", addrmap.Sequential(words, accesses/words)},
+		{"stride-2", addrmap.Strided(words, 2, accesses)},
+		{"stride-8", addrmap.Strided(words, 8, accesses)},
+		{"stride-64", addrmap.Strided(words, 64, accesses)},
+		{"random", random},
+	}
+	for _, p := range patterns {
+		row := []string{p.name}
+		for _, m := range mappings {
+			c, err := addrmap.Sweep(geom, params, m, p.seq)
+			if err != nil {
+				return nil, fmt.Errorf("E19 %s/%s: %w", p.name, m.Name(), err)
+			}
+			row = append(row, itoa(c))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+)
+
+// E20Instruction applies the placement pipeline to instruction fetch:
+// dynamic basic-block traces from three CFG families, placed by block
+// number (naive linker order) versus the proposed pipeline, with the
+// exact optimum as reference (all instances are DP-solvable).
+func E20Instruction(cfgc Config) (*Table, error) {
+	t := &Table{
+		ID:      "E20",
+		Title:   "Instruction (basic-block) placement on a DWM I-scratchpad (extension)",
+		Headers: []string{"cfg", "blocks", "fetches", "naive", "proposed", "optimal", "reduction", "gap"},
+		Notes:   []string{"Linear (MinLA) cost; traces from seeded probabilistic CFG walks"},
+	}
+	type instance struct {
+		name string
+		g    *cfg.Graph
+		runs int
+	}
+	loop, err := cfg.Loop(0.7, 0.02, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	sw, err := cfg.Switch([]float64{0.4, 0.3, 0.15, 0.1, 0.05}, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	chain, err := cfg.Chain(12, 0.25)
+	if err != nil {
+		return nil, err
+	}
+	for _, in := range []instance{
+		{"loop", loop, 400},
+		{"switch", sw, 400},
+		{"chain", chain, 400},
+	} {
+		tr, err := in.g.Execute(in.runs, 0, cfgc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		ag, err := graph.FromTrace(tr)
+		if err != nil {
+			return nil, err
+		}
+		naive, err := core.ProgramOrder(tr)
+		if err != nil {
+			return nil, err
+		}
+		base, err := cost.Linear(ag, naive)
+		if err != nil {
+			return nil, err
+		}
+		_, prop, err := core.Propose(tr, ag)
+		if err != nil {
+			return nil, err
+		}
+		_, opt, err := core.ExactDP(ag)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			in.name, itoa(int64(in.g.Blocks)), itoa(int64(tr.Len())),
+			itoa(base), itoa(prop), itoa(opt),
+			pct(base, prop), pct(opt, prop),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// E14Granularity quantifies what object-granularity placement costs: a
+// toolchain that can reorder whole arrays but not split them
+// (GroupedPropose) versus free word-granular placement (Propose), against
+// the program-order baseline. The group tables reflect each kernel's real
+// arrays (FIR: delay line + coefficients; matmul: A, B, C; stencil: the
+// two ping-pong arrays; FFT: data + twiddles).
+func E14Granularity(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E14",
+		Title: "Word-granular vs object-granular placement (extension)",
+		Headers: []string{"workload", "objects", "program", "object-granular",
+			"word-granular", "object red.", "word red."},
+		Notes: []string{
+			"Linear (MinLA) cost, single-port model",
+			"object-granular keeps each array contiguous in first-touch order",
+		},
+	}
+	cases := []struct {
+		name  string
+		block int // array length in the generator's item numbering
+	}{
+		{"fir", 32},     // 2 arrays of 32
+		{"matmul", 36},  // A, B, C of 36
+		{"stencil", 64}, // 2 arrays of 64
+		{"fft", 32},     // data 64 + twiddle 32 -> blocks of 32 (data split in two)
+	}
+	for _, c := range cases {
+		g, err := workload.ByName(c.name)
+		if err != nil {
+			return nil, err
+		}
+		tr := g.Make(cfg.Seed)
+		group, err := core.UniformGroups(tr.NumItems, c.block)
+		if err != nil {
+			return nil, err
+		}
+		nGroups := (tr.NumItems + c.block - 1) / c.block
+
+		gr, err := graph.FromTrace(tr)
+		if err != nil {
+			return nil, err
+		}
+		po, err := core.ProgramOrder(tr)
+		if err != nil {
+			return nil, err
+		}
+		base, err := cost.Linear(gr, po)
+		if err != nil {
+			return nil, err
+		}
+		_, object, err := core.GroupedPropose(tr, group)
+		if err != nil {
+			return nil, err
+		}
+		_, word, err := core.Propose(tr, gr)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			c.name, itoa(int64(nGroups)), itoa(base), itoa(object), itoa(word),
+			pct(base, object), pct(base, word),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// E22Profile measures generalization: real deployments place data using a
+// profiling run, not the oracle trace the evaluation uses. The trace is
+// split in half by time; the placement is computed from the first half
+// and evaluated on the second, against both the oracle (placed on the
+// full trace) and program order. Stationary workloads should show
+// profile ≈ oracle; the phase-shifting workload quantifies how much drift
+// costs.
+func E22Profile(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E22",
+		Title: "Profile-based placement generalization (extension)",
+		Headers: []string{"workload", "program", "profile-placed", "oracle-placed",
+			"profile red.", "oracle red."},
+		Notes: []string{
+			"placement trained on the first half of the trace, evaluated on the second half",
+			"single centered port, tape = working set",
+		},
+	}
+	cases := []struct {
+		name string
+		tr   *trace.Trace
+	}{}
+	for _, name := range []string{"fir", "histogram", "zipf"} {
+		g, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, struct {
+			name string
+			tr   *trace.Trace
+		}{name, g.Make(cfg.Seed)})
+	}
+	cases = append(cases, struct {
+		name string
+		tr   *trace.Trace
+	}{"phased", workload.Phased(64, 16384, 8, 1.3, cfg.Seed)})
+
+	for _, c := range cases {
+		half := c.tr.Len() / 2
+		train, err := c.tr.Slice(0, half)
+		if err != nil {
+			return nil, err
+		}
+		eval, err := c.tr.Slice(half, c.tr.Len())
+		if err != nil {
+			return nil, err
+		}
+		ports := []int{c.tr.NumItems / 2}
+		score := func(p []int) (int64, error) {
+			return cost.MultiPort(eval.Items(), p, ports, c.tr.NumItems)
+		}
+
+		po, err := core.ProgramOrder(c.tr) // first-touch over the whole run
+		if err != nil {
+			return nil, err
+		}
+		base, err := score(po)
+		if err != nil {
+			return nil, err
+		}
+
+		tg, err := graph.FromTrace(train)
+		if err != nil {
+			return nil, err
+		}
+		profileP, _, err := core.Propose(train, tg)
+		if err != nil {
+			return nil, err
+		}
+		profile, err := score(profileP)
+		if err != nil {
+			return nil, err
+		}
+
+		fg, err := graph.FromTrace(c.tr)
+		if err != nil {
+			return nil, err
+		}
+		oracleP, _, err := core.Propose(c.tr, fg)
+		if err != nil {
+			return nil, err
+		}
+		oracle, err := score(oracleP)
+		if err != nil {
+			return nil, err
+		}
+
+		t.Rows = append(t.Rows, []string{
+			c.name, itoa(base), itoa(profile), itoa(oracle),
+			pct(base, profile), pct(base, oracle),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// E21Scheduling evaluates controller request reordering: total shifts and
+// maximum queueing delay for FIFO versus SSTF versus elevator scheduling
+// as the reorder window grows, on the proposed placement. The expected
+// shape mirrors disk scheduling: reordering buys a further shift
+// reduction on top of placement, SSTF wins on shifts but lets requests
+// starve, and the elevator gets close with bounded delay.
+func E21Scheduling(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E21",
+		Title:   "Request-window scheduling on top of placement (extension)",
+		Headers: []string{"workload", "window", "fifo", "sstf", "sstf delay", "elevator", "elev delay", "sstf vs fifo"},
+		Notes: []string{
+			"single centered port, tape = working set, proposed placement",
+			"delay = max service slots a request waited beyond arrival order",
+		},
+	}
+	for _, name := range []string{"uniform", "zipf"} {
+		g, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		tr := g.Make(cfg.Seed)
+		gr, err := graph.FromTrace(tr)
+		if err != nil {
+			return nil, err
+		}
+		p, _, err := core.Propose(tr, gr)
+		if err != nil {
+			return nil, err
+		}
+		for _, window := range []int{1, 4, 16, 64} {
+			fifo, err := sched.Run(tr, p, tr.NumItems, window, sched.FIFO)
+			if err != nil {
+				return nil, err
+			}
+			sstf, err := sched.Run(tr, p, tr.NumItems, window, sched.SSTF)
+			if err != nil {
+				return nil, err
+			}
+			elev, err := sched.Run(tr, p, tr.NumItems, window, sched.Elevator)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				name, itoa(int64(window)),
+				itoa(fifo.Shifts),
+				itoa(sstf.Shifts), itoa(int64(sstf.MaxDelay)),
+				itoa(elev.Shifts), itoa(int64(elev.MaxDelay)),
+				pct(fifo.Shifts, sstf.Shifts),
+			})
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,129 @@
+// Package bench implements the evaluation harness: one runner per
+// reconstructed table/figure of the paper (E1–E9), each producing a Table
+// that cmd/dwmbench prints and bench_test.go wraps in testing.B targets.
+//
+// Every experiment is deterministic for a given Config seed, so the
+// numbers in EXPERIMENTS.md are exactly reproducible.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a formatted experiment result.
+type Table struct {
+	// ID is the experiment identifier (e.g. "E2").
+	ID string
+	// Title describes what the table/figure reproduces.
+	Title string
+	// Headers labels the columns.
+	Headers []string
+	// Rows holds the cell values.
+	Rows [][]string
+	// Notes are free-form footnotes (parameters, caveats).
+	Notes []string
+}
+
+// Format renders the table with aligned columns.
+func (t *Table) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Headers, "\t"))
+	sep := make([]string, len(t.Headers))
+	for i, h := range t.Headers {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Markdown renders the table as a GitHub-flavored markdown section with a
+// heading, the table, and the notes as a blockquote — the format
+// EXPERIMENTS.md embeds.
+func (t *Table) Markdown(w io.Writer) error {
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	if _, err := fmt.Fprintf(w, "## %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	cells := make([]string, len(t.Headers))
+	for i, h := range t.Headers {
+		cells[i] = esc(h)
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n> %s\n", esc(n)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV renders the table as comma-separated values (quotes any cell
+// containing a comma or quote).
+func (t *Table) CSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			out[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cell formatting helpers shared by the experiments.
+
+func itoa(v int64) string { return fmt.Sprintf("%d", v) }
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// pct formats the relative reduction of got versus base as a percentage.
+func pct(base, got int64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(base-got)/float64(base))
+}

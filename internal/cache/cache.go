@@ -1,0 +1,192 @@
+// Package cache models a small SRAM buffer in front of the DWM
+// scratchpad, as DWM architecture proposals commonly assume: hits are
+// served by SRAM and never reach the tapes, so the DWM only sees the miss
+// and write-back stream. Filtering a trace through the cache answers the
+// question of whether data placement still matters once cheap reuse has
+// been absorbed.
+//
+// The model is word-granular (one item per line), write-back and
+// write-allocate, with two organizations: fully associative LRU and
+// direct mapped.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Stats summarizes one filtering pass.
+type Stats struct {
+	// Hits and Misses count trace accesses by cache outcome.
+	Hits, Misses int64
+	// Writebacks counts dirty evictions (each adds a DWM write).
+	Writebacks int64
+}
+
+// HitRate returns the fraction of accesses served by the cache.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Organization selects the cache structure.
+type Organization int
+
+const (
+	// LRU is fully associative with least-recently-used replacement.
+	LRU Organization = iota
+	// DirectMapped maps item i to set i mod capacity.
+	DirectMapped
+)
+
+// Filter runs the trace through a cache of the given capacity (in items)
+// and returns the DWM-visible access stream: a read per read miss, and a
+// write per dirty eviction (the write-back), including a final flush of
+// dirty lines in ascending item order. Write misses allocate without
+// fetching (lines are single words, so nothing needs to be read), which
+// is why they produce no immediate DWM access. Capacity zero returns a
+// copy of the input (no cache). The filtered trace preserves the item
+// space of the original.
+func Filter(t *trace.Trace, capacity int, org Organization) (*trace.Trace, Stats, error) {
+	if err := t.Validate(); err != nil {
+		return nil, Stats{}, fmt.Errorf("cache: %w", err)
+	}
+	if capacity < 0 {
+		return nil, Stats{}, fmt.Errorf("cache: negative capacity %d", capacity)
+	}
+	out := trace.New(t.Name+" (cache-filtered)", t.NumItems)
+	if capacity == 0 {
+		out.Accesses = append(out.Accesses, t.Accesses...)
+		return out, Stats{Misses: int64(t.Len())}, nil
+	}
+	var st Stats
+	switch org {
+	case LRU:
+		st = filterLRU(t, capacity, out)
+	case DirectMapped:
+		st = filterDirect(t, capacity, out)
+	default:
+		return nil, Stats{}, fmt.Errorf("cache: unknown organization %d", org)
+	}
+	return out, st, nil
+}
+
+// filterLRU is the fully associative pass. The LRU list is a hand-rolled
+// doubly linked list over item IDs to keep the hot loop allocation free.
+func filterLRU(t *trace.Trace, capacity int, out *trace.Trace) Stats {
+	var st Stats
+	n := t.NumItems
+	next := make([]int, n) // LRU list links, -1 = nil
+	prev := make([]int, n)
+	inCache := make([]bool, n)
+	dirty := make([]bool, n)
+	head, tail := -1, -1 // head = most recent
+	size := 0
+
+	unlink := func(v int) {
+		if prev[v] >= 0 {
+			next[prev[v]] = next[v]
+		} else {
+			head = next[v]
+		}
+		if next[v] >= 0 {
+			prev[next[v]] = prev[v]
+		} else {
+			tail = prev[v]
+		}
+	}
+	pushFront := func(v int) {
+		prev[v], next[v] = -1, head
+		if head >= 0 {
+			prev[head] = v
+		}
+		head = v
+		if tail < 0 {
+			tail = v
+		}
+	}
+
+	for _, a := range t.Accesses {
+		v := a.Item
+		if inCache[v] {
+			st.Hits++
+			unlink(v)
+			pushFront(v)
+			if a.Write {
+				dirty[v] = true
+			}
+			continue
+		}
+		st.Misses++
+		if !a.Write {
+			out.Read(v) // read misses fetch from the DWM
+		}
+		if size == capacity {
+			victim := tail
+			unlink(victim)
+			inCache[victim] = false
+			size--
+			if dirty[victim] {
+				st.Writebacks++
+				out.Write(victim)
+				dirty[victim] = false
+			}
+		}
+		inCache[v] = true
+		dirty[v] = a.Write
+		pushFront(v)
+		size++
+	}
+	// Final flush of dirty lines, ascending item order for determinism.
+	for v := 0; v < n; v++ {
+		if inCache[v] && dirty[v] {
+			st.Writebacks++
+			out.Write(v)
+		}
+	}
+	return st
+}
+
+// filterDirect is the direct-mapped pass: item i lives in set i mod
+// capacity.
+func filterDirect(t *trace.Trace, capacity int, out *trace.Trace) Stats {
+	var st Stats
+	line := make([]int, capacity) // resident item per set, -1 empty
+	dirty := make([]bool, capacity)
+	for i := range line {
+		line[i] = -1
+	}
+	for _, a := range t.Accesses {
+		v := a.Item
+		set := v % capacity
+		if line[set] == v {
+			st.Hits++
+			if a.Write {
+				dirty[set] = true
+			}
+			continue
+		}
+		st.Misses++
+		if !a.Write {
+			out.Read(v) // read misses fetch from the DWM
+		}
+		if line[set] >= 0 && dirty[set] {
+			st.Writebacks++
+			out.Write(line[set])
+		}
+		line[set] = v
+		dirty[set] = a.Write
+	}
+	// Final flush of dirty lines, ascending set order for determinism.
+	for set := 0; set < capacity; set++ {
+		if line[set] >= 0 && dirty[set] {
+			st.Writebacks++
+			out.Write(line[set])
+		}
+	}
+	return st
+}

@@ -1,0 +1,191 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func readTrace(n int, seq ...int) *trace.Trace {
+	t := trace.New("t", n)
+	for _, it := range seq {
+		t.Read(it)
+	}
+	return t
+}
+
+func TestFilterZeroCapacityIsIdentity(t *testing.T) {
+	tr := readTrace(4, 0, 1, 2, 3, 0)
+	out, st, err := Filter(tr, 0, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != tr.Len() || st.Hits != 0 || st.Misses != int64(tr.Len()) {
+		t.Errorf("out len %d, stats %+v", out.Len(), st)
+	}
+}
+
+func TestFilterRejectsBadInput(t *testing.T) {
+	bad := trace.New("bad", 1)
+	bad.Read(5)
+	if _, _, err := Filter(bad, 4, LRU); err == nil {
+		t.Error("invalid trace accepted")
+	}
+	good := readTrace(2, 0)
+	if _, _, err := Filter(good, -1, LRU); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, _, err := Filter(good, 2, Organization(9)); err == nil {
+		t.Error("unknown organization accepted")
+	}
+}
+
+func TestLRUHitsOnReuse(t *testing.T) {
+	// Capacity 2, sequence a b a b: two cold misses, two hits.
+	tr := readTrace(3, 0, 1, 0, 1)
+	out, st, err := Filter(tr, 2, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 2 || st.Misses != 2 || st.Writebacks != 0 {
+		t.Errorf("stats %+v", st)
+	}
+	if out.Len() != 2 { // two read misses
+		t.Errorf("filtered len %d", out.Len())
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	// Capacity 2: a b c -> evict a; then a misses again.
+	tr := readTrace(3, 0, 1, 2, 0)
+	_, st, err := Filter(tr, 2, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 0 || st.Misses != 4 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestWriteMissesProduceNoFetch(t *testing.T) {
+	tr := trace.New("w", 2)
+	tr.Write(0)
+	tr.Write(1)
+	out, st, err := Filter(tr, 2, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No DWM reads; two dirty lines flushed at the end.
+	if st.Misses != 2 || st.Writebacks != 2 {
+		t.Errorf("stats %+v", st)
+	}
+	r, w := out.ReadWriteCounts()
+	if r != 0 || w != 2 {
+		t.Errorf("filtered rw = %d,%d", r, w)
+	}
+}
+
+func TestDirtyEvictionEmitsWriteback(t *testing.T) {
+	// Capacity 1: write 0, then read 1 evicts dirty 0.
+	tr := trace.New("wb", 2)
+	tr.Write(0)
+	tr.Read(1)
+	out, st, err := Filter(tr, 1, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Writebacks != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	// Stream: read miss of 1, write-back of 0 (order: read first since
+	// the writeback happens at eviction after the miss is recorded).
+	if out.Len() != 2 {
+		t.Fatalf("filtered len %d: %+v", out.Len(), out.Accesses)
+	}
+	if out.Accesses[0] != (trace.Access{Item: 1}) {
+		t.Errorf("first access %+v", out.Accesses[0])
+	}
+	if out.Accesses[1] != (trace.Access{Item: 0, Write: true}) {
+		t.Errorf("second access %+v", out.Accesses[1])
+	}
+}
+
+func TestDirectMappedConflicts(t *testing.T) {
+	// Capacity 2: items 0 and 2 share set 0 and thrash.
+	tr := readTrace(3, 0, 2, 0, 2)
+	_, st, err := Filter(tr, 2, DirectMapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 0 || st.Misses != 4 {
+		t.Errorf("stats %+v", st)
+	}
+	// Fully associative LRU of the same size has no conflicts.
+	_, st2, err := Filter(tr, 2, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Hits != 2 {
+		t.Errorf("LRU stats %+v", st2)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty hit rate not 0")
+	}
+	if hr := (Stats{Hits: 3, Misses: 1}).HitRate(); hr != 0.75 {
+		t.Errorf("hit rate %g", hr)
+	}
+}
+
+// Property: filtered trace is valid, never longer than reads+2*writes of
+// the original, and a larger LRU cache never hits less.
+func TestFilterProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 2
+		tr := trace.New("p", n)
+		for i := 0; i < 500; i++ {
+			if rng.Intn(3) == 0 {
+				tr.Write(rng.Intn(n))
+			} else {
+				tr.Read(rng.Intn(n))
+			}
+		}
+		small, stSmall, err := Filter(tr, 4, LRU)
+		if err != nil || small.Validate() != nil {
+			return false
+		}
+		big, stBig, err := Filter(tr, 16, LRU)
+		if err != nil || big.Validate() != nil {
+			return false
+		}
+		if stBig.Hits < stSmall.Hits {
+			return false
+		}
+		return big.Len() <= small.Len()+16 // flush can differ by capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cache with capacity >= working set leaves only cold misses
+// plus the final flush.
+func TestFullCapacityOnlyColdMisses(t *testing.T) {
+	tr := workload.Zipf(32, 4000, 1.2, 5)
+	_, st, err := Filter(tr, 32, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses != int64(len(tr.Touched())) {
+		t.Errorf("misses %d, want %d cold misses", st.Misses, len(tr.Touched()))
+	}
+	if st.Writebacks != 0 { // Zipf workload is read-only
+		t.Errorf("writebacks %d", st.Writebacks)
+	}
+}

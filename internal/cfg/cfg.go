@@ -1,0 +1,205 @@
+// Package cfg models control-flow graphs with branch probabilities and
+// executes them into dynamic basic-block traces — the input domain for
+// instruction placement on a DWM instruction scratchpad. Blocks are the
+// placeable items; the executed block sequence is the access trace, and
+// placing frequent successors adjacently minimizes instruction-fetch
+// shifts exactly as data placement minimizes data-access shifts.
+package cfg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// Edge is one outgoing branch of a block with its taken probability.
+type Edge struct {
+	To   int
+	Prob float64
+}
+
+// Graph is a control-flow graph over blocks 0..Blocks-1.
+type Graph struct {
+	// Blocks is the number of basic blocks.
+	Blocks int
+	// Entry and Exit are the start and terminal blocks.
+	Entry, Exit int
+	// Out maps each non-exit block to its outgoing edges.
+	Out map[int][]Edge
+}
+
+// Validate checks structural sanity: indices in range, the exit block has
+// no outgoing edges, every other block has edges whose probabilities sum
+// to 1 (±1e-9), and all probabilities are non-negative.
+func (g *Graph) Validate() error {
+	if g.Blocks <= 0 {
+		return fmt.Errorf("cfg: need at least one block, got %d", g.Blocks)
+	}
+	check := func(name string, b int) error {
+		if b < 0 || b >= g.Blocks {
+			return fmt.Errorf("cfg: %s block %d outside [0,%d)", name, b, g.Blocks)
+		}
+		return nil
+	}
+	if err := check("entry", g.Entry); err != nil {
+		return err
+	}
+	if err := check("exit", g.Exit); err != nil {
+		return err
+	}
+	if len(g.Out[g.Exit]) != 0 {
+		return fmt.Errorf("cfg: exit block %d has outgoing edges", g.Exit)
+	}
+	for b := 0; b < g.Blocks; b++ {
+		if b == g.Exit {
+			continue
+		}
+		edges := g.Out[b]
+		if len(edges) == 0 {
+			return fmt.Errorf("cfg: block %d has no outgoing edges and is not the exit", b)
+		}
+		sum := 0.0
+		for _, e := range edges {
+			if err := check("edge target", e.To); err != nil {
+				return err
+			}
+			if e.Prob < 0 {
+				return fmt.Errorf("cfg: block %d edge to %d has negative probability", b, e.To)
+			}
+			sum += e.Prob
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("cfg: block %d edge probabilities sum to %g, want 1", b, sum)
+		}
+	}
+	return nil
+}
+
+// Execute walks the graph from entry for the given number of runs,
+// restarting at entry after each exit, and records every block fetch.
+// The walk is seeded and deterministic; maxSteps bounds a single run
+// (guarding against CFGs whose exit is unreachable in practice).
+func (g *Graph) Execute(runs, maxSteps int, seed int64) (*trace.Trace, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if runs <= 0 {
+		return nil, fmt.Errorf("cfg: runs must be positive, got %d", runs)
+	}
+	if maxSteps <= 0 {
+		maxSteps = 100000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tr := trace.New("cfg block fetches", g.Blocks)
+	for r := 0; r < runs; r++ {
+		cur := g.Entry
+		for step := 0; ; step++ {
+			if step >= maxSteps {
+				return nil, fmt.Errorf("cfg: run %d exceeded %d steps without reaching exit", r, maxSteps)
+			}
+			tr.Read(cur)
+			if cur == g.Exit {
+				break
+			}
+			cur = pick(g.Out[cur], rng)
+		}
+	}
+	return tr, nil
+}
+
+// pick samples an edge target by probability.
+func pick(edges []Edge, rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	for _, e := range edges {
+		acc += e.Prob
+		if u < acc {
+			return e.To
+		}
+	}
+	return edges[len(edges)-1].To // rounding tail
+}
+
+// Switch builds a dispatch CFG: an entry that selects one of n case
+// blocks with the given probabilities (they must sum to 1), each case
+// falling through to a merge block that loops back to the entry or exits.
+//
+//	0 entry -> case i (1..n) -> n+1 merge -> {0 repeat | n+2 exit}
+func Switch(caseProbs []float64, exitProb float64) (*Graph, error) {
+	n := len(caseProbs)
+	if n == 0 {
+		return nil, fmt.Errorf("cfg: switch needs at least one case")
+	}
+	g := &Graph{
+		Blocks: n + 3,
+		Entry:  0,
+		Exit:   n + 2,
+		Out:    map[int][]Edge{},
+	}
+	for i, p := range caseProbs {
+		g.Out[0] = append(g.Out[0], Edge{To: 1 + i, Prob: p})
+		g.Out[1+i] = []Edge{{To: n + 1, Prob: 1}}
+	}
+	g.Out[n+1] = []Edge{{To: 0, Prob: 1 - exitProb}, {To: n + 2, Prob: exitProb}}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Chain builds a straight-line CFG of n blocks where each block skips its
+// successor with the given probability (jumping two ahead), modeling
+// guarded statements in sequence. The last two blocks converge on the
+// exit.
+func Chain(n int, skipProb float64) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("cfg: chain needs at least 3 blocks, got %d", n)
+	}
+	if skipProb < 0 || skipProb > 1 {
+		return nil, fmt.Errorf("cfg: skip probability %g outside [0,1]", skipProb)
+	}
+	g := &Graph{Blocks: n, Entry: 0, Exit: n - 1, Out: map[int][]Edge{}}
+	for b := 0; b < n-1; b++ {
+		if b+2 <= n-1 {
+			g.Out[b] = []Edge{
+				{To: b + 1, Prob: 1 - skipProb},
+				{To: b + 2, Prob: skipProb},
+			}
+		} else {
+			g.Out[b] = []Edge{{To: b + 1, Prob: 1}}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Loop builds the canonical benchmark CFG used by the instruction
+// placement example: an init block, a hot loop with an if/else diamond
+// and a rare error path, and an exit.
+//
+//	0 init -> 1 loop head -> {2,3} diamond -> 4 latch
+//	4 -> 1 (repeat) | 5 (error, rare) | 6 (exit)
+//	5 -> 6
+func Loop(diamondBias, errorProb, exitProb float64) (*Graph, error) {
+	g := &Graph{
+		Blocks: 7,
+		Entry:  0,
+		Exit:   6,
+		Out: map[int][]Edge{
+			0: {{To: 1, Prob: 1}},
+			1: {{To: 2, Prob: diamondBias}, {To: 3, Prob: 1 - diamondBias}},
+			2: {{To: 4, Prob: 1}},
+			3: {{To: 4, Prob: 1}},
+			4: {{To: 5, Prob: errorProb}, {To: 1, Prob: 1 - errorProb - exitProb}, {To: 6, Prob: exitProb}},
+			5: {{To: 6, Prob: 1}},
+		},
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,247 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+)
+
+func TestValidate(t *testing.T) {
+	good, err := Loop(0.7, 0.02, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		g    Graph
+	}{
+		{"no blocks", Graph{Blocks: 0}},
+		{"bad entry", Graph{Blocks: 2, Entry: 5, Exit: 1, Out: map[int][]Edge{0: {{To: 1, Prob: 1}}}}},
+		{"bad exit", Graph{Blocks: 2, Entry: 0, Exit: 9, Out: map[int][]Edge{0: {{To: 1, Prob: 1}}}}},
+		{"exit with edges", Graph{Blocks: 2, Entry: 0, Exit: 1,
+			Out: map[int][]Edge{0: {{To: 1, Prob: 1}}, 1: {{To: 0, Prob: 1}}}}},
+		{"dead block", Graph{Blocks: 3, Entry: 0, Exit: 2,
+			Out: map[int][]Edge{0: {{To: 2, Prob: 1}}}}},
+		{"bad target", Graph{Blocks: 2, Entry: 0, Exit: 1,
+			Out: map[int][]Edge{0: {{To: 7, Prob: 1}}}}},
+		{"negative prob", Graph{Blocks: 2, Entry: 0, Exit: 1,
+			Out: map[int][]Edge{0: {{To: 1, Prob: -1}, {To: 1, Prob: 2}}}}},
+		{"bad sum", Graph{Blocks: 2, Entry: 0, Exit: 1,
+			Out: map[int][]Edge{0: {{To: 1, Prob: 0.5}}}}},
+	}
+	for _, c := range cases {
+		if err := c.g.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestExecuteShape(t *testing.T) {
+	g, err := Loop(0.7, 0.02, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := g.Execute(50, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	items := tr.Items()
+	// Every run starts at entry and ends at exit.
+	if items[0] != 0 {
+		t.Errorf("first fetch = %d, want entry 0", items[0])
+	}
+	if items[len(items)-1] != 6 {
+		t.Errorf("last fetch = %d, want exit 6", items[len(items)-1])
+	}
+	// Exit appears exactly `runs` times.
+	exits := 0
+	for _, b := range items {
+		if b == 6 {
+			exits++
+		}
+	}
+	if exits != 50 {
+		t.Errorf("exit fetched %d times, want 50", exits)
+	}
+	// The diamond bias shows: block 2 fetched more than block 3.
+	f := tr.Frequencies()
+	if f[2] <= f[3] {
+		t.Errorf("diamond bias not visible: f2=%d f3=%d", f[2], f[3])
+	}
+	// The error block is rare.
+	if f[5] > f[4]/5 {
+		t.Errorf("error path too hot: f5=%d f4=%d", f[5], f[4])
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	g, err := Loop(0.7, 0.02, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Execute(0, 0, 1); err == nil {
+		t.Error("zero runs accepted")
+	}
+	// A CFG that loops forever (exit unreachable with prob 1 edges) must
+	// hit maxSteps.
+	forever := &Graph{
+		Blocks: 3, Entry: 0, Exit: 2,
+		Out: map[int][]Edge{
+			0: {{To: 1, Prob: 1}},
+			1: {{To: 0, Prob: 1}},
+		},
+	}
+	if _, err := forever.Execute(1, 100, 1); err == nil {
+		t.Error("non-terminating walk accepted")
+	}
+}
+
+func TestExecuteDeterministicPerSeed(t *testing.T) {
+	g, err := Loop(0.6, 0.01, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := g.Execute(20, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Execute(20, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("same seed, different lengths")
+	}
+	for i := range a.Accesses {
+		if a.Accesses[i] != b.Accesses[i] {
+			t.Fatal("same seed, different traces")
+		}
+	}
+}
+
+func TestPlacementImprovesBlockFetches(t *testing.T) {
+	// End to end: the proposed placement must reduce fetch shifts over
+	// block-number order, and reach the exact optimum on this 7-block
+	// instance.
+	cf, err := Loop(0.7, 0.02, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := cf.Execute(400, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := core.ProgramOrder(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := cost.Linear(g, naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, prop, err := core.Propose(tr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := core.ExactDP(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop > base {
+		t.Errorf("proposed %d worse than naive %d", prop, base)
+	}
+	if prop != opt {
+		t.Errorf("proposed %d != optimum %d on 7 blocks", prop, opt)
+	}
+}
+
+func TestSwitchCFG(t *testing.T) {
+	probs := []float64{0.5, 0.25, 0.125, 0.125}
+	g, err := Switch(probs, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Blocks != 7 {
+		t.Errorf("Blocks = %d", g.Blocks)
+	}
+	tr, err := g.Execute(100, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := tr.Frequencies()
+	// Hot case must dominate the coldest case.
+	if f[1] <= f[4] {
+		t.Errorf("case skew not visible: hot %d vs cold %d", f[1], f[4])
+	}
+	if _, err := Switch(nil, 0.1); err == nil {
+		t.Error("empty cases accepted")
+	}
+	if _, err := Switch([]float64{0.5, 0.4}, 0.1); err == nil {
+		t.Error("non-normalized probabilities accepted")
+	}
+}
+
+func TestChainCFG(t *testing.T) {
+	g, err := Chain(10, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := g.Execute(50, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := tr.Items()
+	// Monotone walk: fetches strictly increase within each run.
+	prev := -1
+	for _, b := range items {
+		if b == 0 {
+			prev = 0
+			continue
+		}
+		if b <= prev {
+			t.Fatalf("non-monotone chain walk: %d after %d", b, prev)
+		}
+		prev = b
+	}
+	if _, err := Chain(2, 0.1); err == nil {
+		t.Error("too-short chain accepted")
+	}
+	if _, err := Chain(5, 1.5); err == nil {
+		t.Error("bad skip probability accepted")
+	}
+}
+
+// Property: any valid random DAG-with-backedge CFG executes to a valid
+// trace whose fetches all lie in range.
+func TestExecuteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bias := 0.3 + 0.4*rng.Float64()
+		g, err := Loop(bias, 0.05, 0.2)
+		if err != nil {
+			return false
+		}
+		tr, err := g.Execute(rng.Intn(20)+1, 0, seed)
+		if err != nil {
+			return false
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

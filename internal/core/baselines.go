@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/layout"
+	"repro/internal/trace"
+)
+
+// ProgramOrder places items in first-touch order: the first distinct item
+// the trace accesses goes to slot 0, the second to slot 1, and so on.
+// Items never touched are appended after all touched items in ID order.
+// This models the layout a compiler emits without any DWM awareness and is
+// the primary baseline of the evaluation.
+func ProgramOrder(t *trace.Trace) (layout.Placement, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	p := make(layout.Placement, t.NumItems)
+	for i := range p {
+		p[i] = -1
+	}
+	next := 0
+	for _, a := range t.Accesses {
+		if p[a.Item] < 0 {
+			p[a.Item] = next
+			next++
+		}
+	}
+	for i := range p {
+		if p[i] < 0 {
+			p[i] = next
+			next++
+		}
+	}
+	return p, nil
+}
+
+// Random places the n items uniformly at random (seeded), the sanity-check
+// baseline that any structure-aware policy must beat.
+func Random(n int, seed int64) (layout.Placement, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: need at least one item, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return layout.FromOrder(rng.Perm(n))
+}
+
+// Frequency places items by descending access frequency into slots ordered
+// by increasing distance from the given port (ties toward lower slots), so
+// the hottest items need the fewest shifts. With the port at slot 0 this
+// is the classical sorted layout; with the port at the tape center it is
+// the organ-pipe layout.
+func Frequency(t *trace.Trace, port int) (layout.Placement, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	n := t.NumItems
+	if port < 0 || port >= n {
+		return nil, fmt.Errorf("core: port %d outside [0,%d)", port, n)
+	}
+	// Slots sorted by distance from port; for equal distance prefer the
+	// lower slot (deterministic).
+	slots := make([]int, 0, n)
+	slots = append(slots, port)
+	for d := 1; len(slots) < n; d++ {
+		if port-d >= 0 {
+			slots = append(slots, port-d)
+		}
+		if port+d < n && len(slots) < n {
+			slots = append(slots, port+d)
+		}
+	}
+	hot := t.HotItems()
+	p := make(layout.Placement, n)
+	for rank, item := range hot {
+		p[item] = slots[rank]
+	}
+	return p, nil
+}
+
+// OrganPipe is Frequency with the port at the center of the item block,
+// the strongest frequency-only baseline for a center-port tape.
+func OrganPipe(t *trace.Trace) (layout.Placement, error) {
+	return Frequency(t, t.NumItems/2)
+}

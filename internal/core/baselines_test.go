@@ -1,0 +1,158 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/trace"
+)
+
+func seqTrace(n int, seq ...int) *trace.Trace {
+	t := trace.New("test", n)
+	for _, it := range seq {
+		t.Read(it)
+	}
+	return t
+}
+
+func TestProgramOrder(t *testing.T) {
+	tr := seqTrace(5, 3, 1, 3, 4)
+	p, err := ProgramOrder(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First touch: 3->0, 1->1, 4->2; untouched 0,2 appended in ID order.
+	want := layout.Placement{3, 1, 4, 0, 2}
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("ProgramOrder = %v, want %v", p, want)
+	}
+	if err := p.Validate(5); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProgramOrderInvalidTrace(t *testing.T) {
+	bad := trace.New("bad", 1)
+	bad.Read(7)
+	if _, err := ProgramOrder(bad); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestRandomIsSeededPermutation(t *testing.T) {
+	a, err := Random(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(20); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed differs")
+	}
+	c, err := Random(20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds agree (20 items: astronomically unlikely)")
+	}
+	if _, err := Random(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestFrequencyPortZero(t *testing.T) {
+	// Item 2 hottest, then 0, then 1.
+	tr := seqTrace(3, 2, 2, 2, 0, 0, 1)
+	p, err := Frequency(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := layout.Placement{1, 2, 0} // item2->slot0, item0->slot1, item1->slot2
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("Frequency = %v, want %v", p, want)
+	}
+}
+
+func TestFrequencyCenterAlternates(t *testing.T) {
+	tr := seqTrace(5, 0, 0, 0, 1, 1, 2, 2, 3, 4) // freq: 0:3,1:2,2:2,3:1,4:1
+	p, err := Frequency(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slots by distance from 2: 2, 1, 3, 0, 4.
+	want := layout.Placement{2, 1, 3, 0, 4}
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("Frequency(center) = %v, want %v", p, want)
+	}
+}
+
+func TestFrequencyBadPort(t *testing.T) {
+	tr := seqTrace(3, 0)
+	for _, port := range []int{-1, 3} {
+		if _, err := Frequency(tr, port); err == nil {
+			t.Errorf("port %d accepted", port)
+		}
+	}
+}
+
+func TestOrganPipeIsCenterFrequency(t *testing.T) {
+	tr := seqTrace(7, 0, 1, 1, 2, 2, 2, 3, 4, 5, 6)
+	a, err := OrganPipe(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Frequency(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("OrganPipe = %v, Frequency(center) = %v", a, b)
+	}
+}
+
+func TestCenterOnPort(t *testing.T) {
+	p := layout.Identity(4)
+	shifted, err := CenterOnPort(p, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block of 4 centered on slot 8: base = 8-2 = 6 -> slots 6..9.
+	want := layout.Placement{6, 7, 8, 9}
+	if !reflect.DeepEqual(shifted, want) {
+		t.Errorf("CenterOnPort = %v, want %v", shifted, want)
+	}
+	// Port near the edge clamps the block inside the tape.
+	left, err := CenterOnPort(p, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left[0] != 0 {
+		t.Errorf("left clamp = %v", left)
+	}
+	right, err := CenterOnPort(p, 16, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if right[3] != 15 {
+		t.Errorf("right clamp = %v", right)
+	}
+}
+
+func TestCenterOnPortErrors(t *testing.T) {
+	if _, err := CenterOnPort(layout.Identity(8), 4, 0); err == nil {
+		t.Error("overfull tape accepted")
+	}
+	if _, err := CenterOnPort(layout.Identity(4), 8, 9); err == nil {
+		t.Error("bad port accepted")
+	}
+	if _, err := CenterOnPort(layout.Placement{0, 5}, 8, 0); err == nil {
+		t.Error("non-compact placement accepted")
+	}
+}

@@ -1,0 +1,68 @@
+// Package core implements the paper's contribution: data-placement
+// algorithms that minimize the shift operations a domain wall memory
+// performs while serving an access trace.
+//
+// The single-tape, single-port problem is the Minimum Linear Arrangement
+// (MinLA) of the access transition graph, which is NP-hard. The package
+// provides:
+//
+//   - Baselines: program order (first touch), random, and two
+//     frequency-driven layouts (sorted-from-port and organ-pipe).
+//   - The proposed heuristic family: greedy weighted-edge chain growth,
+//     refined by 2-opt local search or simulated annealing.
+//   - Exact algorithms for small instances: a Held–Karp-style subset DP
+//     and a branch-and-bound search, used to measure optimality gaps.
+//   - Multi-port-aware refinement driven by the exact sequence cost.
+//   - Multi-tape partitioning (greedy affinity + Kernighan–Lin-style
+//     refinement) composed with per-tape placement.
+//
+// All algorithms are deterministic given their seeds.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/layout"
+	"repro/internal/trace"
+)
+
+// CenterOnPort shifts a contiguous placement over n slots so that the
+// block's center lands on the given port of a tape with tapeLen slots.
+// Within-block distances (and hence the Linear cost) are unchanged; the
+// initial seek and multi-port interplay improve. The placement must be a
+// permutation of [0, n).
+func CenterOnPort(p layout.Placement, tapeLen, port int) (layout.Placement, error) {
+	n := len(p)
+	if err := p.Validate(n); err != nil {
+		return nil, fmt.Errorf("core: CenterOnPort needs a compact placement: %w", err)
+	}
+	if tapeLen < n {
+		return nil, fmt.Errorf("core: %d items cannot fit on a %d-slot tape", n, tapeLen)
+	}
+	if port < 0 || port >= tapeLen {
+		return nil, fmt.Errorf("core: port %d outside [0,%d)", port, tapeLen)
+	}
+	base := port - n/2
+	if base < 0 {
+		base = 0
+	}
+	if base+n > tapeLen {
+		base = tapeLen - n
+	}
+	out := make(layout.Placement, n)
+	for item, s := range p {
+		out[item] = s + base
+	}
+	return out, nil
+}
+
+// traceGraph builds the transition graph, shared by entry points that
+// accept traces.
+func traceGraph(t *trace.Trace) (*graph.Graph, error) {
+	g, err := graph.FromTrace(t)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return g, nil
+}

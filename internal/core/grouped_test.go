@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestUniformGroups(t *testing.T) {
+	g, err := UniformGroups(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("groups = %v", g)
+		}
+	}
+	if _, err := UniformGroups(0, 4); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := UniformGroups(4, 0); err == nil {
+		t.Error("block=0 accepted")
+	}
+}
+
+func TestGroupedProposeKeepsGroupsContiguous(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nGroups := rng.Intn(5) + 2
+		block := rng.Intn(6) + 1
+		n := nGroups * block
+		tr := trace.New("p", n)
+		for i := 0; i < 400; i++ {
+			tr.Read(rng.Intn(n))
+		}
+		group, err := UniformGroups(n, block)
+		if err != nil {
+			return false
+		}
+		p, c, err := GroupedPropose(tr, group)
+		if err != nil {
+			return false
+		}
+		if p.Validate(n) != nil {
+			return false
+		}
+		// Contiguity: slots of each group form a consecutive range.
+		lo := make([]int, nGroups)
+		hi := make([]int, nGroups)
+		for g := range lo {
+			lo[g], hi[g] = n, -1
+		}
+		for item, s := range p {
+			g := group[item]
+			if s < lo[g] {
+				lo[g] = s
+			}
+			if s > hi[g] {
+				hi[g] = s
+			}
+		}
+		for g := 0; g < nGroups; g++ {
+			if hi[g]-lo[g]+1 != block {
+				return false
+			}
+		}
+		// Reported cost matches the placement.
+		ig, err := graph.FromTrace(tr)
+		if err != nil {
+			return false
+		}
+		actual, err := cost.Linear(ig, p)
+		return err == nil && actual == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupedProposeRejectsBadInput(t *testing.T) {
+	tr := seqTrace(4, 0, 1, 2, 3)
+	if _, _, err := GroupedPropose(tr, []int{0, 0}); err == nil {
+		t.Error("short group table accepted")
+	}
+	if _, _, err := GroupedPropose(tr, []int{0, 0, 0, -1}); err == nil {
+		t.Error("negative group accepted")
+	}
+	bad := trace.New("bad", 1)
+	bad.Read(9)
+	if _, _, err := GroupedPropose(bad, []int{0}); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestGroupedProposeBetweenBaselineAndWordGranular(t *testing.T) {
+	// Object-granularity placement on FIR (delay array + coef array):
+	// it cannot beat word-granular Propose, but ordering whole arrays
+	// sensibly should stay comparable to program order.
+	tr := workload.FIR(16, 128)
+	group, err := UniformGroups(tr.NumItems, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, grouped, err := GroupedPropose(tr, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, word, err := Propose(tr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grouped < word {
+		t.Errorf("grouped (%d) beats word-granular (%d): optimizer bug", grouped, word)
+	}
+	po, err := ProgramOrder(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := cost.Linear(g, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(grouped) > 1.2*float64(base) {
+		t.Errorf("grouped (%d) far worse than program order (%d)", grouped, base)
+	}
+}
+
+func TestGroupedProposeSingleGroupIsProgramOrder(t *testing.T) {
+	// With one group covering everything, the only freedom is the
+	// (trivial) group order; the result must be exactly program order.
+	tr := seqTrace(5, 3, 1, 3, 4, 0)
+	group := make([]int, 5)
+	p, _, err := GroupedPropose(tr, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, err := ProgramOrder(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p {
+		if p[i] != po[i] {
+			t.Fatalf("grouped %v != program order %v", p, po)
+		}
+	}
+}

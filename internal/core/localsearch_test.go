@@ -1,0 +1,262 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/layout"
+)
+
+func TestTwoOptNeverWorsens(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(25) + 2
+		g := randGraph(rng, n, 4*n)
+		start, err := layout.FromOrder(rng.Perm(n))
+		if err != nil {
+			return false
+		}
+		before, err := cost.Linear(g, start)
+		if err != nil {
+			return false
+		}
+		refined, after, err := TwoOpt(g, start, TwoOptOptions{})
+		if err != nil {
+			return false
+		}
+		if after > before {
+			return false
+		}
+		actual, err := cost.Linear(g, refined)
+		return err == nil && actual == after && refined.Validate(n) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoOptReachesLocalOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randGraph(rng, 15, 60)
+	p, c, err := TwoOpt(g, layout.Identity(15), TwoOptOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No single swap can improve further.
+	ev, err := cost.NewEvaluator(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 15; u++ {
+		for v := u + 1; v < 15; v++ {
+			if d := ev.SwapDelta(u, v); d < 0 {
+				t.Fatalf("swap (%d,%d) still improves by %d from cost %d", u, v, d, c)
+			}
+		}
+	}
+}
+
+func TestTwoOptWindowRestrictsButHelps(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randGraph(rng, 40, 160)
+	start, err := layout.FromOrder(rng.Perm(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := cost.Linear(g, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, windowed, err := TwoOpt(g, start, TwoOptOptions{Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, full, err := TwoOpt(g, start, TwoOptOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windowed > before {
+		t.Errorf("windowed 2-opt worsened: %d -> %d", before, windowed)
+	}
+	if full > windowed {
+		t.Errorf("full 2-opt (%d) worse than windowed (%d)", full, windowed)
+	}
+}
+
+func TestTwoOptMaxPassesBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randGraph(rng, 30, 120)
+	start, err := layout.FromOrder(rng.Perm(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One pass must terminate and not worsen.
+	_, c1, err := TwoOpt(g, start, TwoOptOptions{MaxPasses: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cFull, err := TwoOpt(g, start, TwoOptOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cFull > c1 {
+		t.Errorf("converged (%d) worse than single pass (%d)", cFull, c1)
+	}
+}
+
+func TestTwoOptRejectsBadPlacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := randGraph(rng, 5, 10)
+	if _, _, err := TwoOpt(g, layout.Placement{0, 0, 1, 2, 3}, TwoOptOptions{}); err == nil {
+		t.Error("invalid placement accepted")
+	}
+}
+
+func TestTwoOptDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := randGraph(rng, 12, 50)
+	start, err := layout.FromOrder(rng.Perm(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := start.Clone()
+	if _, _, err := TwoOpt(g, start, TwoOptOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if start[i] != orig[i] {
+			t.Fatal("TwoOpt mutated its input")
+		}
+	}
+}
+
+func TestInsertionNeverWorsens(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(15) + 2
+		g := randGraph(rng, n, 3*n)
+		start, err := layout.FromOrder(rng.Perm(n))
+		if err != nil {
+			return false
+		}
+		before, err := cost.Linear(g, start)
+		if err != nil {
+			return false
+		}
+		refined, after, err := Insertion(g, start, 3)
+		if err != nil {
+			return false
+		}
+		if after > before {
+			return false
+		}
+		actual, err := cost.Linear(g, refined)
+		return err == nil && actual == after && refined.Validate(n) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertionFixesRelocation(t *testing.T) {
+	// Path 0-1-2-3-4 with item 0 exiled to the far end:
+	// order [1,2,3,4,0]. A single relocation restores the path order;
+	// verify Insertion finds cost 4.
+	g := mustGraph(t, 5,
+		[3]int{0, 1, 1}, [3]int{1, 2, 1}, [3]int{2, 3, 1}, [3]int{3, 4, 1})
+	start, err := layout.FromOrder([]int{1, 2, 3, 4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c, err := Insertion(g, start, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 4 {
+		t.Errorf("Insertion cost = %d, want 4", c)
+	}
+}
+
+func TestAnnealNeverWorseThanStart(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 2
+		g := randGraph(rng, n, 4*n)
+		start, err := layout.FromOrder(rng.Perm(n))
+		if err != nil {
+			return false
+		}
+		before, err := cost.Linear(g, start)
+		if err != nil {
+			return false
+		}
+		refined, after, err := Anneal(g, start, AnnealOptions{Seed: seed, Iterations: 300 * n})
+		if err != nil {
+			return false
+		}
+		if after > before { // Anneal returns best-visited, start included
+			return false
+		}
+		actual, err := cost.Linear(g, refined)
+		return err == nil && actual == after
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := randGraph(rng, 18, 70)
+	a, ca, err := Anneal(g, layout.Identity(18), AnnealOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, cb, err := Anneal(g, layout.Identity(18), AnnealOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != cb {
+		t.Errorf("same seed different costs: %d vs %d", ca, cb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed different placements")
+		}
+	}
+}
+
+func TestAnnealTinyInstances(t *testing.T) {
+	g := mustGraph(t, 1)
+	p, c, err := Anneal(g, layout.Identity(1), AnnealOptions{Seed: 1})
+	if err != nil || c != 0 || len(p) != 1 {
+		t.Errorf("n=1: %v %d %v", p, c, err)
+	}
+	g2 := mustGraph(t, 2, [3]int{0, 1, 5})
+	_, c2, err := Anneal(g2, layout.Identity(2), AnnealOptions{Seed: 1})
+	if err != nil || c2 != 5 {
+		t.Errorf("n=2: cost %d err %v, want 5", c2, err)
+	}
+}
+
+func TestGreedyTwoOptBeatsGreedyAlone(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randGraph(rng, 40, 200)
+	gp, err := GreedyChain(g, SeedHeaviestEdge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, err := cost.Linear(g, gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tc, err := GreedyTwoOpt(g, TwoOptOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc > gc {
+		t.Errorf("greedy+2opt (%d) worse than greedy (%d)", tc, gc)
+	}
+}

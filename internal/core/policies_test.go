@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/layout"
+	"repro/internal/trace"
+)
+
+func TestPoliciesAllProduceValidPlacements(t *testing.T) {
+	tr := firTrace()
+	g, err := graph.FromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range Policies(42) {
+		pol := pol
+		t.Run(pol.Name, func(t *testing.T) {
+			p, err := pol.Place(tr, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(tr.NumItems); err != nil {
+				t.Fatal(err)
+			}
+			if pol.Description == "" {
+				t.Error("missing description")
+			}
+		})
+	}
+}
+
+func TestProposedPoliciesBeatProgramOrder(t *testing.T) {
+	// On the locality-rich helper traces, each member of the proposed
+	// family must achieve a Linear cost no worse than program order.
+	for _, tr := range []*trace.Trace{firTrace(), zigzagTrace(), chaseTrace()} {
+		g, err := graph.FromTrace(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		po, err := ProgramOrder(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := cost.Linear(g, po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The multi-start pipeline and its annealed variant are seeded
+		// with program order, so they can never lose to it.
+		for _, name := range []string{"proposed", "anneal"} {
+			pol, err := PolicyByName(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := pol.Place(tr, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := cost.Linear(g, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c > base {
+				t.Errorf("%s on %s: %d worse than program order %d",
+					name, tr.Name, c, base)
+			}
+		}
+		// The pure greedy variants carry no such guarantee but must stay
+		// within 1.5x of the baseline on these locality-rich traces.
+		for _, name := range []string{"greedy", "greedy2opt"} {
+			pol, err := PolicyByName(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := pol.Place(tr, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := cost.Linear(g, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if float64(c) > 1.5*float64(base) {
+				t.Errorf("%s on %s: %d far worse than program order %d",
+					name, tr.Name, c, base)
+			}
+		}
+	}
+}
+
+func TestPolicyByNameUnknown(t *testing.T) {
+	if _, err := PolicyByName("bogus", 0); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestPolicyNamesOrder(t *testing.T) {
+	names := PolicyNames()
+	if len(names) != 9 {
+		t.Fatalf("expected 9 policies, got %d: %v", len(names), names)
+	}
+	if names[0] != "program" || names[len(names)-1] != "anneal" {
+		t.Errorf("unexpected order: %v", names)
+	}
+}
+
+func TestPoliciesSeedReproducible(t *testing.T) {
+	tr := chaseTrace()
+	g, err := graph.FromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"random", "anneal"} {
+		p1 := placeByName(t, name, 5, tr, g)
+		p2 := placeByName(t, name, 5, tr, g)
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("%s: same seed, different placements", name)
+			}
+		}
+	}
+}
+
+func placeByName(t *testing.T, name string, seed int64, tr *trace.Trace, g *graph.Graph) layout.Placement {
+	t.Helper()
+	pol, err := PolicyByName(name, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pol.Place(tr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/dwm"
+	"repro/internal/layout"
+	"repro/internal/workload"
+)
+
+func TestOptimizePortsValidation(t *testing.T) {
+	p := layout.Identity(8)
+	seq := []int{0, 1}
+	if _, _, err := OptimizePorts(seq, p, 0, 8); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := OptimizePorts(seq, p, 9, 8); err == nil {
+		t.Error("k>tapeLen accepted")
+	}
+	if _, _, err := OptimizePorts(seq, layout.Placement{0, 0}, 1, 8); err == nil {
+		t.Error("bad placement accepted")
+	}
+}
+
+func TestOptimizePortsNeverWorseThanSpread(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(16) + 4
+		tapeLen := n + rng.Intn(8)
+		var seq []int
+		for i := 0; i < 300; i++ {
+			seq = append(seq, rng.Intn(n))
+		}
+		slotPerm := rng.Perm(tapeLen)
+		p := make(layout.Placement, n)
+		copy(p, slotPerm[:n])
+		k := rng.Intn(3) + 1
+		spread := dwm.SpreadPorts(tapeLen, k)
+		base, err := cost.MultiPort(seq, p, spread, tapeLen)
+		if err != nil {
+			return false
+		}
+		ports, c, err := OptimizePorts(seq, p, k, tapeLen)
+		if err != nil {
+			return false
+		}
+		// Result must be sorted, distinct, in range, and verified.
+		for i, q := range ports {
+			if q < 0 || q >= tapeLen {
+				return false
+			}
+			if i > 0 && ports[i-1] >= q {
+				return false
+			}
+		}
+		actual, err := cost.MultiPort(seq, p, ports, tapeLen)
+		if err != nil {
+			return false
+		}
+		return actual == c && c <= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimizePortsFindsSkew(t *testing.T) {
+	// All traffic at the tape's left end: a single port must migrate
+	// left of the evenly spread center.
+	tapeLen := 32
+	p := layout.Identity(4) // items in slots 0..3
+	var seq []int
+	for i := 0; i < 100; i++ {
+		seq = append(seq, i%4)
+	}
+	ports, c, err := OptimizePorts(seq, p, 1, tapeLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ports[0] > 3 {
+		t.Errorf("port at %d, want within the occupied region [0,3]", ports[0])
+	}
+	spread := dwm.SpreadPorts(tapeLen, 1)
+	base, err := cost.MultiPort(seq, p, spread, tapeLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c >= base {
+		t.Errorf("optimized %d not better than spread %d", c, base)
+	}
+}
+
+func TestOptimizePortsOnRealWorkload(t *testing.T) {
+	tr := workload.Zipf(32, 4000, 1.3, 4)
+	p, err := OrganPipe(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := tr.Items()
+	spread := dwm.SpreadPorts(tr.NumItems, 2)
+	base, err := cost.MultiPort(seq, p, spread, tr.NumItems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c, err := OptimizePorts(seq, p, 2, tr.NumItems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c > base {
+		t.Errorf("optimized ports (%d) worse than spread (%d)", c, base)
+	}
+}

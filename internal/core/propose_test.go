@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/dwm"
+	"repro/internal/graph"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestProposeNeverLosesToProgramOrder(t *testing.T) {
+	gens := []*trace.Trace{
+		firTrace(), zigzagTrace(), chaseTrace(),
+		workload.IIR(4, 64),
+		workload.Stencil1D(16, 8),
+		workload.Uniform(20, 2000, 3),
+		workload.Zipf(20, 2000, 1.3, 3),
+	}
+	for _, tr := range gens {
+		g, err := graph.FromTrace(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		po, err := ProgramOrder(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := cost.Linear(g, po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, c, err := Propose(tr, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(tr.NumItems); err != nil {
+			t.Fatal(err)
+		}
+		actual, err := cost.Linear(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if actual != c {
+			t.Errorf("%s: reported cost %d != actual %d", tr.Name, c, actual)
+		}
+		if c > base {
+			t.Errorf("%s: proposed %d worse than program order %d", tr.Name, c, base)
+		}
+	}
+}
+
+func TestProposeMatchesOptimalOnSmall(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 3 // 3..8
+		tr := trace.New("p", n)
+		for i := 0; i < 300; i++ {
+			tr.Read(rng.Intn(n))
+		}
+		g, err := graph.FromTrace(tr)
+		if err != nil {
+			return false
+		}
+		_, opt, err := ExactDP(g)
+		if err != nil {
+			return false
+		}
+		_, c, err := Propose(tr, g)
+		if err != nil {
+			return false
+		}
+		// Propose is a heuristic: never below the optimum, and on
+		// instances this small it should be within 15%.
+		return c >= opt && float64(c) <= 1.15*float64(opt)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProposeMultiTapeNeverLosesToPacked(t *testing.T) {
+	gens := []*trace.Trace{
+		workload.FIR(16, 64),
+		workload.MatMul(4),
+		workload.Stencil1D(16, 8),
+	}
+	for _, tr := range gens {
+		for _, tapes := range []int{2, 4} {
+			tapeLen := (tr.NumItems + tapes - 1) / tapes
+			ports := dwm.SpreadPorts(tapeLen, 1)
+			seq := tr.Items()
+
+			mp, c, err := ProposeMultiTape(tr, tapes, tapeLen, ports)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mp.Validate(tapes, tapeLen); err != nil {
+				t.Fatal(err)
+			}
+			actual, err := cost.MultiTape(seq, mp, tapes, tapeLen, ports)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if actual != c {
+				t.Errorf("%s tapes=%d: reported %d != actual %d", tr.Name, tapes, c, actual)
+			}
+
+			contig, err := ContiguousPartition(tr, tapes, tapeLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			packed, err := PackedPlacement(tr, contig, tapes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := cost.MultiTape(seq, packed, tapes, tapeLen, ports)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c > base {
+				t.Errorf("%s tapes=%d: proposed %d worse than packed %d", tr.Name, tapes, c, base)
+			}
+		}
+	}
+}
+
+func TestPackedPlacementValid(t *testing.T) {
+	tr := workload.FIR(8, 16)
+	pt := RoundRobinPartition(tr.NumItems, 3)
+	mp, err := PackedPlacement(tr, pt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapeLen := (tr.NumItems + 2) / 3
+	if err := mp.Validate(3, tapeLen+1); err != nil {
+		t.Fatal(err)
+	}
+	for item, tp := range pt {
+		if mp.Tape[item] != tp {
+			t.Errorf("item %d tape %d, want %d", item, mp.Tape[item], tp)
+		}
+	}
+}

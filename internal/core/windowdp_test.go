@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/layout"
+)
+
+func TestWindowDPValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randGraph(rng, 10, 30)
+	if _, _, err := WindowDP(g, layout.Placement{0, 0}, WindowDPOptions{}); err == nil {
+		t.Error("bad placement accepted")
+	}
+	for _, w := range []int{1, 9, -3} {
+		if _, _, err := WindowDP(g, layout.Identity(10), WindowDPOptions{Window: w}); err == nil {
+			t.Errorf("window %d accepted", w)
+		}
+	}
+}
+
+func TestWindowDPNeverWorsens(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 2
+		g := randGraph(rng, n, 4*n)
+		start, err := layout.FromOrder(rng.Perm(n))
+		if err != nil {
+			return false
+		}
+		before, err := cost.Linear(g, start)
+		if err != nil {
+			return false
+		}
+		refined, after, err := WindowDP(g, start, WindowDPOptions{Window: 5, MaxPasses: 3})
+		if err != nil {
+			return false
+		}
+		if after > before {
+			return false
+		}
+		actual, err := cost.Linear(g, refined)
+		return err == nil && actual == after && refined.Validate(n) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowDPSolvesThreeRotation(t *testing.T) {
+	// A 3-cycle of moves that pairwise 2-opt cannot improve in one step:
+	// path graph 0-1-2 placed as order [1,2,0] needs the rotation to
+	// [0,1,2]. WindowDP with window 3 must find the optimum (cost 2).
+	g := mustGraph(t, 3, [3]int{0, 1, 1}, [3]int{1, 2, 1})
+	start, err := layout.FromOrder([]int{1, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c, err := WindowDP(g, start, WindowDPOptions{Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 2 {
+		t.Errorf("WindowDP cost = %d, want 2", c)
+	}
+}
+
+func TestWindowDPMatchesExactOnSmall(t *testing.T) {
+	// With window >= n the refinement solves the instance exactly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(5) + 2 // 2..6
+		g := randGraph(rng, n, 3*n)
+		_, opt, err := ExactDP(g)
+		if err != nil {
+			return false
+		}
+		_, c, err := WindowDP(g, layout.Identity(n), WindowDPOptions{Window: min(n, 8)})
+		if err != nil {
+			return false
+		}
+		return c == opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowDPPolishesTwoOptOptimum(t *testing.T) {
+	// On random graphs, WindowDP after 2-opt should only ever help.
+	rng := rand.New(rand.NewSource(21))
+	g := randGraph(rng, 40, 160)
+	p, c2, err := GreedyTwoOpt(g, TwoOptOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cw, err := WindowDP(g, p, WindowDPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw > c2 {
+		t.Errorf("WindowDP worsened 2-opt optimum: %d -> %d", c2, cw)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,186 @@
+// Package cost evaluates the shift cost of placements analytically,
+// without instantiating a device.
+//
+// Three evaluators cover the modeling levels used in the paper-style
+// study:
+//
+//   - Linear: the graph (MinLA) objective Σ w(u,v)·|pos(u)-pos(v)|. For a
+//     single-port tape whose head rests where the last access left it,
+//     this equals the exact shift count of serving the trace, minus the
+//     initial seek.
+//   - SinglePort / MultiPort: exact head simulation on one tape, including
+//     the initial seek from the port's home position.
+//   - MultiTape: exact per-tape head simulation on a multi-tape device.
+//
+// The Evaluator type provides O(degree) incremental re-evaluation of item
+// swaps under the Linear objective, which the local-search and annealing
+// optimizers depend on.
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/layout"
+)
+
+// Linear returns the MinLA objective of a placement on the access
+// transition graph: Σ over edges w(u,v) * |pos(u)-pos(v)|.
+func Linear(g *graph.Graph, p layout.Placement) (int64, error) {
+	if len(p) != g.N() {
+		return 0, fmt.Errorf("cost: placement covers %d items, graph has %d", len(p), g.N())
+	}
+	var total int64
+	g.EachEdge(func(u, v int, w int64) {
+		total += w * int64(abs(p[u]-p[v]))
+	})
+	return total, nil
+}
+
+// SinglePort returns the exact shift count of serving seq on a single
+// tape with one port at position port, with the head starting aligned at
+// the port (offset zero) and resting where each access leaves it.
+func SinglePort(seq []int, p layout.Placement, port int) (int64, error) {
+	return MultiPort(seq, p, []int{port}, maxSlot(p)+1)
+}
+
+// MultiPort returns the exact shift count of serving seq on a single tape
+// of tapeLen slots with the given port positions, starting from offset
+// zero and choosing the nearest port per access (the same greedy policy
+// the device model implements).
+func MultiPort(seq []int, p layout.Placement, ports []int, tapeLen int) (int64, error) {
+	if err := p.Validate(tapeLen); err != nil {
+		return 0, err
+	}
+	if len(ports) == 0 {
+		return 0, fmt.Errorf("cost: no ports")
+	}
+	for i, q := range ports {
+		if q < 0 || q >= tapeLen {
+			return 0, fmt.Errorf("cost: port %d at %d outside [0,%d)", i, q, tapeLen)
+		}
+	}
+	var total int64
+	offset := 0
+	for i, item := range seq {
+		if item < 0 || item >= len(p) {
+			return 0, fmt.Errorf("cost: access %d references item %d outside [0,%d)", i, item, len(p))
+		}
+		slot := p[item]
+		best := -1
+		for _, q := range ports {
+			d := abs(slot - q - offset)
+			if best == -1 || d < best {
+				best = d
+			}
+		}
+		// Recompute the chosen offset (nearest port).
+		for _, q := range ports {
+			if abs(slot-q-offset) == best {
+				offset = slot - q
+				break
+			}
+		}
+		total += int64(best)
+	}
+	return total, nil
+}
+
+// MultiTapeBreakdown returns the per-tape shift counts of serving seq,
+// under the same model as MultiTape. The per-tape count is the wire's
+// shift wear: every shift stresses every domain wall on that wire, so
+// tape-level shift totals are the wear-leveling metric for DWM arrays.
+func MultiTapeBreakdown(seq []int, mp layout.MultiPlacement, tapes, tapeLen int, ports []int) ([]int64, error) {
+	if err := mp.Validate(tapes, tapeLen); err != nil {
+		return nil, err
+	}
+	if len(ports) == 0 {
+		return nil, fmt.Errorf("cost: no ports")
+	}
+	for i, q := range ports {
+		if q < 0 || q >= tapeLen {
+			return nil, fmt.Errorf("cost: port %d at %d outside [0,%d)", i, q, tapeLen)
+		}
+	}
+	offsets := make([]int, tapes)
+	perTape := make([]int64, tapes)
+	for i, item := range seq {
+		if item < 0 || item >= mp.Items() {
+			return nil, fmt.Errorf("cost: access %d references item %d outside [0,%d)", i, item, mp.Items())
+		}
+		tp, slot := mp.Tape[item], mp.Slot[item]
+		best := -1
+		for _, q := range ports {
+			d := abs(slot - q - offsets[tp])
+			if best == -1 || d < best {
+				best = d
+			}
+		}
+		for _, q := range ports {
+			if abs(slot-q-offsets[tp]) == best {
+				offsets[tp] = slot - q
+				break
+			}
+		}
+		perTape[tp] += int64(best)
+	}
+	return perTape, nil
+}
+
+// MultiTape returns the exact shift count of serving seq on a device with
+// the given number of tapes of tapeLen slots each and the given per-tape
+// port positions. Each tape keeps its own head offset; cross-tape
+// transitions cost nothing by themselves.
+func MultiTape(seq []int, mp layout.MultiPlacement, tapes, tapeLen int, ports []int) (int64, error) {
+	if err := mp.Validate(tapes, tapeLen); err != nil {
+		return 0, err
+	}
+	if len(ports) == 0 {
+		return 0, fmt.Errorf("cost: no ports")
+	}
+	for i, q := range ports {
+		if q < 0 || q >= tapeLen {
+			return 0, fmt.Errorf("cost: port %d at %d outside [0,%d)", i, q, tapeLen)
+		}
+	}
+	offsets := make([]int, tapes)
+	var total int64
+	for i, item := range seq {
+		if item < 0 || item >= mp.Items() {
+			return 0, fmt.Errorf("cost: access %d references item %d outside [0,%d)", i, item, mp.Items())
+		}
+		tp, slot := mp.Tape[item], mp.Slot[item]
+		best := -1
+		for _, q := range ports {
+			d := abs(slot - q - offsets[tp])
+			if best == -1 || d < best {
+				best = d
+			}
+		}
+		for _, q := range ports {
+			if abs(slot-q-offsets[tp]) == best {
+				offsets[tp] = slot - q
+				break
+			}
+		}
+		total += int64(best)
+	}
+	return total, nil
+}
+
+func maxSlot(p layout.Placement) int {
+	m := 0
+	for _, s := range p {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,36 @@
+package dwm_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dwm"
+)
+
+// Example demonstrates the mechanical cost model: accesses far from the
+// head's current position cost proportionally many shifts.
+func Example() {
+	dev, err := dwm.NewDevice(dwm.Geometry{
+		Tapes: 1, DomainsPerTape: 16, PortsPerTape: 1,
+	}, dwm.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The single port sits at slot 8; the tape starts aligned there.
+	for _, slot := range []int{8, 0, 1, 15} {
+		_, shifts, err := dev.Read(dwm.Address{Tape: 0, Slot: slot})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("read slot %2d: %d shifts\n", slot, shifts)
+	}
+	c := dev.Counters()
+	fmt.Printf("total: %d shifts, %.1f ns, %.1f pJ\n",
+		c.Shifts, c.LatencyNS(dev.Params()), c.EnergyPJ(dev.Params()))
+	// Output:
+	// read slot  8: 0 shifts
+	// read slot  0: 8 shifts
+	// read slot  1: 1 shifts
+	// read slot 15: 14 shifts
+	// total: 23 shifts, 15.5 ns, 15.5 pJ
+}

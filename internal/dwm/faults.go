@@ -1,0 +1,96 @@
+package dwm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Shift fault model. Racetrack shifting is analog: a current pulse can
+// under- or over-shoot, leaving the tape one position off. The model
+// applies an independent error probability per single-position shift;
+// each error displaces the final alignment by ±1. The controller senses
+// misalignment after the burst (position error detection) and issues
+// corrective shifts — which can themselves fault — until the tape is
+// aligned. Corrective shifts are charged to the normal shift counter, so
+// latency and energy accounting automatically include the overhead; the
+// fault counter records how many individual shift errors occurred.
+
+// FaultModel configures per-shift position errors.
+type FaultModel struct {
+	// Prob is the per-shift error probability (0 disables faults).
+	Prob float64
+	// Seed drives the error process.
+	Seed int64
+}
+
+// Validate checks the probability range.
+func (f FaultModel) Validate() error {
+	if f.Prob < 0 || f.Prob >= 1 {
+		return fmt.Errorf("dwm: fault probability %g outside [0,1)", f.Prob)
+	}
+	return nil
+}
+
+// EnableFaults activates the fault model on the tape. Passing a zero
+// model disables injection.
+func (t *Tape) EnableFaults(f FaultModel) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if f.Prob == 0 {
+		t.faultProb = 0
+		t.faultRng = nil
+		return nil
+	}
+	t.faultProb = f.Prob
+	t.faultRng = rand.New(rand.NewSource(f.Seed))
+	return nil
+}
+
+// Faults returns the number of individual shift errors injected since
+// construction or the last ResetCounters.
+func (t *Tape) Faults() int64 { return t.faults }
+
+// applyFaults perturbs the offset after a burst of d shifts and returns
+// the displacement. Called only when the fault model is active.
+func (t *Tape) applyFaults(d int) int {
+	disp := 0
+	for i := 0; i < d; i++ {
+		if t.faultRng.Float64() < t.faultProb {
+			t.faults++
+			if t.faultRng.Intn(2) == 0 {
+				disp--
+			} else {
+				disp++
+			}
+		}
+	}
+	return disp
+}
+
+// EnableFaults activates the fault model on every tape of the device,
+// deriving per-tape seeds so tapes fault independently.
+func (d *Device) EnableFaults(f FaultModel) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	for i, t := range d.tapes {
+		tf := f
+		if tf.Prob > 0 {
+			tf.Seed = f.Seed + int64(i)*0x9E3779B9
+		}
+		if err := t.EnableFaults(tf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Faults returns the total injected shift errors across all tapes.
+func (d *Device) Faults() int64 {
+	var total int64
+	for _, t := range d.tapes {
+		total += t.Faults()
+	}
+	return total
+}

@@ -1,0 +1,182 @@
+package dwm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFaultModelValidate(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.0, 2.0} {
+		if err := (FaultModel{Prob: p}).Validate(); err == nil {
+			t.Errorf("prob %g accepted", p)
+		}
+	}
+	if err := (FaultModel{Prob: 0}).Validate(); err != nil {
+		t.Errorf("zero prob rejected: %v", err)
+	}
+	if err := (FaultModel{Prob: 0.5}).Validate(); err != nil {
+		t.Errorf("0.5 prob rejected: %v", err)
+	}
+}
+
+func TestZeroProbMatchesFaultFree(t *testing.T) {
+	a := mustTape(t, 32, []int{0})
+	b := mustTape(t, 32, []int{0})
+	if err := b.EnableFaults(FaultModel{Prob: 0, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		s := rng.Intn(32)
+		if _, _, err := a.Read(s); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := b.Read(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Shifts() != b.Shifts() || b.Faults() != 0 {
+		t.Errorf("zero-prob faults changed behavior: %d vs %d shifts, %d faults",
+			a.Shifts(), b.Shifts(), b.Faults())
+	}
+}
+
+func TestFaultsAddOverheadButPreserveCorrectness(t *testing.T) {
+	clean := mustTape(t, 64, []int{32})
+	faulty := mustTape(t, 64, []int{32})
+	if err := faulty.EnableFaults(FaultModel{Prob: 0.02, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	// Write then read back through the faulty tape: data must be intact
+	// (corrections realign before every access completes).
+	vals := map[int]uint64{}
+	for i := 0; i < 300; i++ {
+		s := rng.Intn(64)
+		v := rng.Uint64()
+		vals[s] = v
+		if _, err := clean.Write(s, v); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := faulty.Write(s, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compare shift overhead over the identical write phase only.
+	cleanShifts, faultyShifts := clean.Shifts(), faulty.Shifts()
+	for s, v := range vals {
+		got, _, err := faulty.Read(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("slot %d: read %d, want %d", s, got, v)
+		}
+	}
+	if faulty.Faults() == 0 {
+		t.Error("no faults injected at p=0.02 over thousands of shifts")
+	}
+	if faultyShifts <= cleanShifts {
+		t.Errorf("faulty shifts %d not above clean %d", faultyShifts, cleanShifts)
+	}
+	// Expected overhead ~= p per shift (each fault costs ~1 corrective
+	// shift), so 2% nominal; assert well under 10%.
+	if float64(faultyShifts) > 1.1*float64(cleanShifts) {
+		t.Errorf("overhead implausibly high: %d vs %d", faultyShifts, cleanShifts)
+	}
+}
+
+func TestFaultsDeterministicPerSeed(t *testing.T) {
+	run := func() (int64, int64) {
+		tape := mustTape(t, 32, []int{0})
+		if err := tape.EnableFaults(FaultModel{Prob: 0.05, Seed: 11}); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 200; i++ {
+			if _, _, err := tape.Read(rng.Intn(32)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tape.Shifts(), tape.Faults()
+	}
+	s1, f1 := run()
+	s2, f2 := run()
+	if s1 != s2 || f1 != f2 {
+		t.Errorf("same seed diverged: %d/%d vs %d/%d", s1, f1, s2, f2)
+	}
+}
+
+func TestDeviceEnableFaults(t *testing.T) {
+	d := mustDevice(t, Geometry{Tapes: 3, DomainsPerTape: 16, PortsPerTape: 1})
+	if err := d.EnableFaults(FaultModel{Prob: 2}); err == nil {
+		t.Error("bad model accepted")
+	}
+	if err := d.EnableFaults(FaultModel{Prob: 0.05, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 600; i++ {
+		if _, _, err := d.Read(Address{Tape: rng.Intn(3), Slot: rng.Intn(16)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Faults() == 0 {
+		t.Error("no device-level faults recorded")
+	}
+	// Tapes fault independently: at least two tapes should have faults.
+	withFaults := 0
+	for i := 0; i < 3; i++ {
+		tape, err := d.Tape(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tape.Faults() > 0 {
+			withFaults++
+		}
+	}
+	if withFaults < 2 {
+		t.Errorf("only %d tapes faulted; seeds not independent?", withFaults)
+	}
+	d.ResetCounters()
+	if d.Faults() != 0 {
+		t.Error("ResetCounters did not clear faults")
+	}
+}
+
+// Property: after any access on a faulty tape, the requested slot is
+// genuinely aligned (offset equals slot - chosen port) — corrections
+// always complete.
+func TestFaultyAlignmentAlwaysConverges(t *testing.T) {
+	f := func(seed int64) bool {
+		tape, err := NewTape(32, []int{5, 20})
+		if err != nil {
+			return false
+		}
+		if err := tape.EnableFaults(FaultModel{Prob: 0.3, Seed: seed}); err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			s := rng.Intn(32)
+			if _, _, err := tape.Read(s); err != nil {
+				return false
+			}
+			// Some port must be exactly aligned with s.
+			aligned := false
+			for _, q := range tape.Ports() {
+				if s-q == tape.Offset() {
+					aligned = true
+				}
+			}
+			if !aligned {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package dwm models a domain wall memory (racetrack memory) device at the
+// shift/access level.
+//
+// A DWM device is an array of nanowire tapes. Each tape stores one data
+// word per magnetic domain block and carries one or more fixed access
+// ports (read/write heads). Accessing a word requires shifting the tape
+// until the word's domain block is aligned under a port; each one-position
+// shift is a distinct, energy- and latency-bearing operation. The package
+// tracks the mechanical state of every tape (its current shift offset),
+// executes reads and writes, and accounts for shift, read, and write
+// counts so that higher layers can attribute latency and energy.
+//
+// The model is word-granular: a "position" is a word slot on the tape, and
+// shifting by one moves every domain on the tape by one word slot. This is
+// the granularity at which data-placement studies of DWM operate; bit-level
+// domain mechanics (shift current pulses, domain pinning) are abstracted
+// into the per-shift latency and energy constants of Params.
+package dwm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params holds the per-operation device timing and energy constants.
+//
+// The defaults returned by DefaultParams are in the range published for
+// racetrack memory prototypes and architectural studies: a shift is
+// cheaper than a read, which is cheaper than a write, but shifts dominate
+// totals because a single access can require tens of shifts on a long
+// tape.
+type Params struct {
+	// ShiftLatencyNS is the latency of moving the tape by one position,
+	// in nanoseconds.
+	ShiftLatencyNS float64
+	// ReadLatencyNS is the latency of sensing one word at a port.
+	ReadLatencyNS float64
+	// WriteLatencyNS is the latency of writing one word at a port.
+	WriteLatencyNS float64
+	// ShiftEnergyPJ is the energy of one single-position shift, in
+	// picojoules.
+	ShiftEnergyPJ float64
+	// ReadEnergyPJ is the energy of one word read.
+	ReadEnergyPJ float64
+	// WriteEnergyPJ is the energy of one word write.
+	WriteEnergyPJ float64
+	// ShiftFanout is the number of physical nanowires that shift in
+	// lockstep per word-granular shift. Bit-interleaved DWM arrays store
+	// a W-bit word as one bit on each of W parallel tapes, so a logical
+	// shift drives W shift currents at once: latency is unchanged
+	// (parallel), energy multiplies by the fanout. Zero means 1 (a whole
+	// word per domain block on a single wire).
+	ShiftFanout int
+}
+
+// DefaultParams returns device constants representative of published
+// racetrack prototypes (roughly: 0.5 ns / 0.5 pJ per shift, 1 ns / 1 pJ
+// reads, 1.5 ns / 2 pJ writes).
+func DefaultParams() Params {
+	return Params{
+		ShiftLatencyNS: 0.5,
+		ReadLatencyNS:  1.0,
+		WriteLatencyNS: 1.5,
+		ShiftEnergyPJ:  0.5,
+		ReadEnergyPJ:   1.0,
+		WriteEnergyPJ:  2.0,
+	}
+}
+
+// Validate reports whether every constant is non-negative and at least one
+// latency is positive (an all-zero Params almost certainly indicates a
+// configuration mistake).
+func (p Params) Validate() error {
+	vals := []struct {
+		name string
+		v    float64
+	}{
+		{"ShiftLatencyNS", p.ShiftLatencyNS},
+		{"ReadLatencyNS", p.ReadLatencyNS},
+		{"WriteLatencyNS", p.WriteLatencyNS},
+		{"ShiftEnergyPJ", p.ShiftEnergyPJ},
+		{"ReadEnergyPJ", p.ReadEnergyPJ},
+		{"WriteEnergyPJ", p.WriteEnergyPJ},
+	}
+	for _, x := range vals {
+		if x.v < 0 {
+			return fmt.Errorf("dwm: %s is negative (%g)", x.name, x.v)
+		}
+	}
+	if p.ShiftLatencyNS == 0 && p.ReadLatencyNS == 0 && p.WriteLatencyNS == 0 {
+		return errors.New("dwm: all latencies are zero")
+	}
+	if p.ShiftFanout < 0 {
+		return fmt.Errorf("dwm: ShiftFanout is negative (%d)", p.ShiftFanout)
+	}
+	return nil
+}
+
+// shiftFanout returns the effective fanout (zero value means 1).
+func (p Params) shiftFanout() float64 {
+	if p.ShiftFanout <= 0 {
+		return 1
+	}
+	return float64(p.ShiftFanout)
+}
+
+// Geometry describes the physical organization of a device.
+type Geometry struct {
+	// Tapes is the number of racetrack tapes in the device.
+	Tapes int
+	// DomainsPerTape is the number of word slots on each tape.
+	DomainsPerTape int
+	// PortsPerTape is the number of evenly spaced access ports on each
+	// tape. Every port can both read and write.
+	PortsPerTape int
+}
+
+// Validate checks that the geometry is physically meaningful.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Tapes <= 0:
+		return fmt.Errorf("dwm: geometry needs at least one tape, got %d", g.Tapes)
+	case g.DomainsPerTape <= 0:
+		return fmt.Errorf("dwm: geometry needs at least one domain per tape, got %d", g.DomainsPerTape)
+	case g.PortsPerTape <= 0:
+		return fmt.Errorf("dwm: geometry needs at least one port per tape, got %d", g.PortsPerTape)
+	case g.PortsPerTape > g.DomainsPerTape:
+		return fmt.Errorf("dwm: %d ports cannot fit on a %d-domain tape",
+			g.PortsPerTape, g.DomainsPerTape)
+	}
+	return nil
+}
+
+// Words returns the total word capacity of the device.
+func (g Geometry) Words() int { return g.Tapes * g.DomainsPerTape }
+
+// PortPositions returns the canonical evenly spaced port slots for the
+// geometry. With k ports on an L-domain tape, port i sits at the center of
+// the i-th of k equal segments, which minimizes the worst-case distance
+// from any slot to its nearest port.
+func (g Geometry) PortPositions() []int {
+	return SpreadPorts(g.DomainsPerTape, g.PortsPerTape)
+}
+
+// SpreadPorts returns k evenly spaced positions on a tape of length n,
+// each at the center of one of k equal segments. It panics if the
+// arguments do not describe a valid layout; callers should validate
+// geometry first.
+func SpreadPorts(n, k int) []int {
+	if n <= 0 || k <= 0 || k > n {
+		panic(fmt.Sprintf("dwm: invalid port layout n=%d k=%d", n, k))
+	}
+	ports := make([]int, k)
+	for i := range ports {
+		// Center of segment [i*n/k, (i+1)*n/k).
+		ports[i] = (2*i + 1) * n / (2 * k)
+	}
+	return ports
+}

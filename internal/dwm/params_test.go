@@ -1,0 +1,120 @@
+package dwm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+}
+
+func TestParamsValidateRejectsNegative(t *testing.T) {
+	cases := []Params{
+		{ShiftLatencyNS: -1, ReadLatencyNS: 1},
+		{ReadLatencyNS: -0.1, ShiftLatencyNS: 1},
+		{WriteLatencyNS: -5, ShiftLatencyNS: 1},
+		{ShiftEnergyPJ: -1, ShiftLatencyNS: 1},
+		{ReadEnergyPJ: -1, ShiftLatencyNS: 1},
+		{WriteEnergyPJ: -1, ShiftLatencyNS: 1},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: negative param accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestParamsValidateRejectsAllZeroLatency(t *testing.T) {
+	p := Params{ShiftEnergyPJ: 1}
+	if err := p.Validate(); err == nil {
+		t.Error("all-zero latency accepted")
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	good := Geometry{Tapes: 4, DomainsPerTape: 64, PortsPerTape: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good geometry rejected: %v", err)
+	}
+	bad := []Geometry{
+		{Tapes: 0, DomainsPerTape: 64, PortsPerTape: 1},
+		{Tapes: -1, DomainsPerTape: 64, PortsPerTape: 1},
+		{Tapes: 1, DomainsPerTape: 0, PortsPerTape: 1},
+		{Tapes: 1, DomainsPerTape: 64, PortsPerTape: 0},
+		{Tapes: 1, DomainsPerTape: 4, PortsPerTape: 5},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: bad geometry accepted: %+v", i, g)
+		}
+	}
+}
+
+func TestGeometryWords(t *testing.T) {
+	g := Geometry{Tapes: 3, DomainsPerTape: 64, PortsPerTape: 1}
+	if got := g.Words(); got != 192 {
+		t.Errorf("Words() = %d, want 192", got)
+	}
+}
+
+func TestSpreadPortsSinglePortCentered(t *testing.T) {
+	ports := SpreadPorts(64, 1)
+	if len(ports) != 1 || ports[0] != 32 {
+		t.Errorf("SpreadPorts(64,1) = %v, want [32]", ports)
+	}
+}
+
+func TestSpreadPortsEven(t *testing.T) {
+	ports := SpreadPorts(64, 2)
+	want := []int{16, 48}
+	if len(ports) != 2 || ports[0] != want[0] || ports[1] != want[1] {
+		t.Errorf("SpreadPorts(64,2) = %v, want %v", ports, want)
+	}
+}
+
+func TestSpreadPortsProperties(t *testing.T) {
+	// For any valid (n, k): k positions, strictly ascending, in range.
+	f := func(n8, k8 uint8) bool {
+		n := int(n8%200) + 1
+		k := int(k8)%n + 1
+		ports := SpreadPorts(n, k)
+		if len(ports) != k {
+			return false
+		}
+		for i, p := range ports {
+			if p < 0 || p >= n {
+				return false
+			}
+			if i > 0 && ports[i-1] >= p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpreadPortsPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SpreadPorts(0,1) did not panic")
+		}
+	}()
+	SpreadPorts(0, 1)
+}
+
+func TestPortPositionsMatchSpread(t *testing.T) {
+	g := Geometry{Tapes: 1, DomainsPerTape: 100, PortsPerTape: 4}
+	got := g.PortPositions()
+	want := SpreadPorts(100, 4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PortPositions = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package endurance models the limited shift endurance of DWM nanowires
+// under process variation, and the tape-remapping optimization that
+// variation enables.
+//
+// Every shift stresses all domain walls on its wire, so a wire fails
+// after a finite number of shifts. Fabrication variation makes that
+// budget differ wire to wire. For a periodic workload, the device dies
+// when its weakest-provisioned wire exhausts its budget:
+//
+//	lifetime (iterations) = min over tapes  endurance[phys] / rate[logical]
+//
+// Because the placement pipeline fixes the per-logical-tape shift rate,
+// the controller still has one free knob: which physical wire backs which
+// logical tape. BestMapping pairs the highest-rate logical tape with the
+// highest-endurance wire (sorted matching), which provably maximizes the
+// minimum ratio.
+package endurance
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Profile holds the per-physical-tape shift endurance budgets.
+type Profile struct {
+	PerTape []float64
+}
+
+// SampleProfile draws a variation profile: each wire's endurance is
+// nominal x exp(sigma*N(0,1)), the standard lognormal model for
+// multiplicative process variation. sigma = 0 returns uniform wires.
+func SampleProfile(tapes int, nominal, sigma float64, seed int64) (Profile, error) {
+	if tapes <= 0 {
+		return Profile{}, fmt.Errorf("endurance: need at least one tape, got %d", tapes)
+	}
+	if nominal <= 0 {
+		return Profile{}, fmt.Errorf("endurance: nominal endurance must be positive, got %g", nominal)
+	}
+	if sigma < 0 {
+		return Profile{}, fmt.Errorf("endurance: sigma must be non-negative, got %g", sigma)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := Profile{PerTape: make([]float64, tapes)}
+	for i := range p.PerTape {
+		p.PerTape[i] = nominal * math.Exp(sigma*rng.NormFloat64())
+	}
+	return p, nil
+}
+
+// Lifetime returns the number of workload iterations until the first wire
+// dies, for the given logical-to-physical mapping (mapping[logical] =
+// physical wire). Logical tapes with zero shift rate never wear their
+// wire. Returns +Inf when no tape ever shifts.
+func (p Profile) Lifetime(rates []int64, mapping []int) (float64, error) {
+	if len(rates) != len(p.PerTape) || len(mapping) != len(p.PerTape) {
+		return 0, fmt.Errorf("endurance: %d rates / %d mapping entries for %d tapes",
+			len(rates), len(mapping), len(p.PerTape))
+	}
+	seen := make([]bool, len(p.PerTape))
+	life := math.Inf(1)
+	for logical, phys := range mapping {
+		if phys < 0 || phys >= len(p.PerTape) {
+			return 0, fmt.Errorf("endurance: mapping[%d] = %d outside [0,%d)", logical, phys, len(p.PerTape))
+		}
+		if seen[phys] {
+			return 0, fmt.Errorf("endurance: physical tape %d mapped twice", phys)
+		}
+		seen[phys] = true
+		if rates[logical] <= 0 {
+			continue
+		}
+		if l := p.PerTape[phys] / float64(rates[logical]); l < life {
+			life = l
+		}
+	}
+	return life, nil
+}
+
+// IdentityMapping returns the variation-oblivious mapping (logical tape i
+// on physical wire i).
+func IdentityMapping(tapes int) []int {
+	m := make([]int, tapes)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// BestMapping returns the lifetime-maximizing logical-to-physical
+// assignment: logical tapes sorted by descending shift rate take physical
+// wires sorted by descending endurance. By the exchange argument this
+// maximizes min(endurance/rate) over all permutations.
+func (p Profile) BestMapping(rates []int64) ([]int, error) {
+	if len(rates) != len(p.PerTape) {
+		return nil, fmt.Errorf("endurance: %d rates for %d tapes", len(rates), len(p.PerTape))
+	}
+	n := len(rates)
+	logical := make([]int, n)
+	physical := make([]int, n)
+	for i := 0; i < n; i++ {
+		logical[i], physical[i] = i, i
+	}
+	sort.SliceStable(logical, func(a, b int) bool { return rates[logical[a]] > rates[logical[b]] })
+	sort.SliceStable(physical, func(a, b int) bool { return p.PerTape[physical[a]] > p.PerTape[physical[b]] })
+	mapping := make([]int, n)
+	for i := 0; i < n; i++ {
+		mapping[logical[i]] = physical[i]
+	}
+	return mapping, nil
+}

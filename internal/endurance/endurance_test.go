@@ -1,0 +1,169 @@
+package endurance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleProfileValidation(t *testing.T) {
+	if _, err := SampleProfile(0, 1e8, 0.2, 1); err == nil {
+		t.Error("zero tapes accepted")
+	}
+	if _, err := SampleProfile(4, 0, 0.2, 1); err == nil {
+		t.Error("zero nominal accepted")
+	}
+	if _, err := SampleProfile(4, 1e8, -1, 1); err == nil {
+		t.Error("negative sigma accepted")
+	}
+}
+
+func TestSampleProfileZeroSigmaUniform(t *testing.T) {
+	p, err := SampleProfile(4, 1e8, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range p.PerTape {
+		if e != 1e8 {
+			t.Errorf("tape %d endurance %g, want 1e8", i, e)
+		}
+	}
+}
+
+func TestSampleProfileDeterministic(t *testing.T) {
+	a, err := SampleProfile(8, 1e8, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleProfile(8, 1e8, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PerTape {
+		if a.PerTape[i] != b.PerTape[i] {
+			t.Fatal("same seed, different profiles")
+		}
+	}
+}
+
+func TestLifetimeBasics(t *testing.T) {
+	p := Profile{PerTape: []float64{100, 200}}
+	// rates 10 and 10: identity lifetime = min(10, 20) = 10.
+	l, err := p.Lifetime([]int64{10, 10}, IdentityMapping(2))
+	if err != nil || l != 10 {
+		t.Errorf("lifetime = %g, %v", l, err)
+	}
+	// Swap: min(200/10, 100/10) = 10 as well (symmetric rates).
+	l, err = p.Lifetime([]int64{10, 10}, []int{1, 0})
+	if err != nil || l != 10 {
+		t.Errorf("swapped lifetime = %g, %v", l, err)
+	}
+	// Skewed rates: hot tape on strong wire doubles lifetime.
+	l, err = p.Lifetime([]int64{20, 5}, []int{1, 0})
+	if err != nil || l != 10 { // min(200/20, 100/5) = min(10,20) = 10
+		t.Errorf("aware lifetime = %g, %v", l, err)
+	}
+	l, err = p.Lifetime([]int64{20, 5}, IdentityMapping(2))
+	if err != nil || l != 5 { // min(100/20, 200/5) = 5
+		t.Errorf("oblivious lifetime = %g, %v", l, err)
+	}
+}
+
+func TestLifetimeZeroRatesInfinite(t *testing.T) {
+	p := Profile{PerTape: []float64{100, 100}}
+	l, err := p.Lifetime([]int64{0, 0}, IdentityMapping(2))
+	if err != nil || !math.IsInf(l, 1) {
+		t.Errorf("lifetime = %g, %v; want +Inf", l, err)
+	}
+}
+
+func TestLifetimeValidation(t *testing.T) {
+	p := Profile{PerTape: []float64{100, 100}}
+	if _, err := p.Lifetime([]int64{1}, IdentityMapping(2)); err == nil {
+		t.Error("rate length mismatch accepted")
+	}
+	if _, err := p.Lifetime([]int64{1, 1}, []int{0, 0}); err == nil {
+		t.Error("duplicate physical tape accepted")
+	}
+	if _, err := p.Lifetime([]int64{1, 1}, []int{0, 5}); err == nil {
+		t.Error("out-of-range physical tape accepted")
+	}
+}
+
+func TestBestMappingPairsSorted(t *testing.T) {
+	p := Profile{PerTape: []float64{50, 300, 100}}
+	rates := []int64{5, 30, 1}
+	m, err := p.BestMapping(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hottest logical (1, rate 30) -> strongest wire (1, 300);
+	// next (0, rate 5) -> wire 2 (100); coldest (2) -> wire 0 (50).
+	want := []int{2, 1, 0}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("mapping = %v, want %v", m, want)
+		}
+	}
+}
+
+// Property: BestMapping achieves the maximum lifetime over all
+// permutations (exhaustively checked for small n).
+func TestBestMappingOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(5) + 1 // 1..5 tapes: n! <= 120
+		prof, err := SampleProfile(n, 1e6, 0.5, seed)
+		if err != nil {
+			return false
+		}
+		rates := make([]int64, n)
+		for i := range rates {
+			rates[i] = int64(rng.Intn(100)) // zeros allowed
+		}
+		best, err := prof.BestMapping(rates)
+		if err != nil {
+			return false
+		}
+		bestLife, err := prof.Lifetime(rates, best)
+		if err != nil {
+			return false
+		}
+		// Exhaustive permutations.
+		perm := make([]int, n)
+		var rec func(used int, depth int) bool
+		cur := make([]int, n)
+		rec = func(used, depth int) bool {
+			if depth == n {
+				copy(perm, cur)
+				l, err := prof.Lifetime(rates, perm)
+				if err != nil {
+					return false
+				}
+				return l <= bestLife+1e-9 || math.IsInf(bestLife, 1)
+			}
+			for p := 0; p < n; p++ {
+				if used&(1<<p) != 0 {
+					continue
+				}
+				cur[depth] = p
+				if !rec(used|1<<p, depth+1) {
+					return false
+				}
+			}
+			return true
+		}
+		return rec(0, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestMappingValidation(t *testing.T) {
+	p := Profile{PerTape: []float64{1, 2}}
+	if _, err := p.BestMapping([]int64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text format for transition graphs, so placement problems can be
+// exchanged without their traces:
+//
+//	dwmgraph 1
+//	vertices <N>
+//	e <u> <v> <w>
+//	...
+//
+// Blank lines and '#' comments are ignored. Edges are written sorted
+// (descending weight, then by endpoints), which makes the encoding
+// canonical: equal graphs encode to equal bytes.
+
+const graphMagic = "dwmgraph"
+
+// Encode writes the graph in the canonical text format.
+func Encode(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s 1\n", graphMagic)
+	fmt.Fprintf(bw, "vertices %d\n", g.N())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "e %d %d %d\n", e.U, e.V, e.W)
+	}
+	return bw.Flush()
+}
+
+// Decode parses a graph from the text format.
+func Decode(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s == "" || strings.HasPrefix(s, "#") {
+				continue
+			}
+			return s, true
+		}
+		return "", false
+	}
+	hdr, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	fields := strings.Fields(hdr)
+	if len(fields) != 2 || fields[0] != graphMagic || fields[1] != "1" {
+		return nil, fmt.Errorf("graph: line %d: bad header %q", line, hdr)
+	}
+	var g *Graph
+	for {
+		s, ok := next()
+		if !ok {
+			break
+		}
+		switch {
+		case strings.HasPrefix(s, "vertices "):
+			if g != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate vertices header", line)
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(s, "vertices ")))
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count: %v", line, err)
+			}
+			if g, err = New(n); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+		case strings.HasPrefix(s, "e "):
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before vertices header", line)
+			}
+			f := strings.Fields(s)
+			if len(f) != 4 {
+				return nil, fmt.Errorf("graph: line %d: want 'e u v w', got %q", line, s)
+			}
+			u, err1 := strconv.Atoi(f[1])
+			v, err2 := strconv.Atoi(f[2])
+			wgt, err3 := strconv.ParseInt(f[3], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, s)
+			}
+			if u < 0 || u >= g.N() || v < 0 || v >= g.N() || u == v || wgt <= 0 {
+				return nil, fmt.Errorf("graph: line %d: invalid edge %d-%d w=%d", line, u, v, wgt)
+			}
+			if g.Weight(u, v) != 0 {
+				return nil, fmt.Errorf("graph: line %d: duplicate edge %d-%d", line, u, v)
+			}
+			g.AddWeight(u, v, wgt)
+		default:
+			return nil, fmt.Errorf("graph: line %d: unrecognized line %q", line, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: missing vertices header")
+	}
+	return g, nil
+}

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphCodecRoundTrip(t *testing.T) {
+	g := mustNew(t, 5)
+	g.AddWeight(0, 4, 7)
+	g.AddWeight(1, 2, 3)
+	var buf bytes.Buffer
+	if err := Encode(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 5 || got.Weight(0, 4) != 7 || got.Weight(1, 2) != 3 || got.NumEdges() != 2 {
+		t.Errorf("round trip wrong: %d vertices, %d edges", got.N(), got.NumEdges())
+	}
+}
+
+func TestGraphCodecCanonical(t *testing.T) {
+	// Same graph built in different insertion orders encodes identically.
+	a := mustNew(t, 4)
+	a.AddWeight(0, 1, 2)
+	a.AddWeight(2, 3, 5)
+	b := mustNew(t, 4)
+	b.AddWeight(3, 2, 5)
+	b.AddWeight(1, 0, 2)
+	var ba, bb bytes.Buffer
+	if err := Encode(&ba, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Errorf("encodings differ:\n%s\nvs\n%s", ba.String(), bb.String())
+	}
+}
+
+func TestGraphDecodeErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"bad magic", "nope 1\nvertices 2\n"},
+		{"bad version", "dwmgraph 2\nvertices 2\n"},
+		{"no vertices", "dwmgraph 1\ne 0 1 1\n"},
+		{"dup vertices", "dwmgraph 1\nvertices 2\nvertices 2\n"},
+		{"bad count", "dwmgraph 1\nvertices x\n"},
+		{"zero count", "dwmgraph 1\nvertices 0\n"},
+		{"short edge", "dwmgraph 1\nvertices 2\ne 0 1\n"},
+		{"bad edge ints", "dwmgraph 1\nvertices 2\ne 0 x 1\n"},
+		{"self loop", "dwmgraph 1\nvertices 2\ne 0 0 1\n"},
+		{"range", "dwmgraph 1\nvertices 2\ne 0 2 1\n"},
+		{"zero weight", "dwmgraph 1\nvertices 2\ne 0 1 0\n"},
+		{"dup edge", "dwmgraph 1\nvertices 2\ne 0 1 1\ne 1 0 2\n"},
+		{"junk", "dwmgraph 1\nvertices 2\nzzz\n"},
+		{"only header", "dwmgraph 1\n"},
+	}
+	for _, c := range cases {
+		if _, err := Decode(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestGraphDecodeComments(t *testing.T) {
+	in := "# header comment\ndwmgraph 1\n\nvertices 3\n# edge\ne 0 2 4\n"
+	g, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Weight(0, 2) != 4 {
+		t.Errorf("weight = %d", g.Weight(0, 2))
+	}
+}
+
+func TestGraphCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 1
+		g, err := New(n)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddWeight(u, v, int64(rng.Intn(50)+1))
+			}
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, g); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		return got.N() == g.N() && reflect.DeepEqual(got.Edges(), g.Edges())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

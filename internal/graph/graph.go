@@ -1,0 +1,311 @@
+// Package graph implements the weighted undirected access-transition
+// graph that underlies the data-placement problem.
+//
+// For a trace a_1..a_T, the graph has one vertex per item and an edge
+// {u,v} weighted by the number of times u and v appear consecutively in
+// the trace. On a single-port tape whose head rests where the last access
+// left it, the total shift count of a placement equals the graph cost
+// Σ w(u,v)·|pos(u)-pos(v)| (plus the initial seek), which is the Minimum
+// Linear Arrangement objective. The placement algorithms in internal/core
+// operate on this graph.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Edge is an undirected weighted edge with U < V.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
+// Graph is a weighted undirected graph over vertices 0..N-1 with no self
+// loops. The zero value is unusable; use New or FromTrace.
+type Graph struct {
+	n   int
+	adj []map[int]int64 // adj[u][v] = w, mirrored
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("graph: need at least one vertex, got %d", n)
+	}
+	g := &Graph{n: n, adj: make([]map[int]int64, n)}
+	return g, nil
+}
+
+// FromTrace builds the access-transition graph of a trace: one vertex per
+// item, edge weights counting consecutive accesses to distinct items.
+func FromTrace(t *trace.Trace) (*Graph, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := New(t.NumItems)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < t.Len(); i++ {
+		u, v := t.Accesses[i-1].Item, t.Accesses[i].Item
+		if u != v {
+			g.AddWeight(u, v, 1)
+		}
+	}
+	return g, nil
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// check panics on an invalid vertex pair; graph methods are hot paths in
+// optimizers so they use panics for programmer errors rather than
+// returning errors on every call.
+func (g *Graph) check(u, v int) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: vertex pair (%d,%d) outside [0,%d)", u, v, g.n))
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self loop on %d", u))
+	}
+}
+
+// AddWeight adds w (which may be negative, as long as the resulting weight
+// stays non-negative) to edge {u,v}, creating it if absent. A weight that
+// reaches zero removes the edge.
+func (g *Graph) AddWeight(u, v int, w int64) {
+	g.check(u, v)
+	nw := g.Weight(u, v) + w
+	if nw < 0 {
+		panic(fmt.Sprintf("graph: edge {%d,%d} weight would go negative", u, v))
+	}
+	set := func(a, b int) {
+		if nw == 0 {
+			delete(g.adj[a], b)
+			return
+		}
+		if g.adj[a] == nil {
+			g.adj[a] = make(map[int]int64)
+		}
+		g.adj[a][b] = nw
+	}
+	set(u, v)
+	set(v, u)
+}
+
+// Weight returns the weight of edge {u,v}, zero if absent.
+func (g *Graph) Weight(u, v int) int64 {
+	g.check(u, v)
+	return g.adj[u][v]
+}
+
+// Neighbors calls fn for every neighbor of u with the edge weight, in
+// ascending neighbor order (deterministic iteration matters for
+// reproducible heuristics).
+func (g *Graph) Neighbors(u int, fn func(v int, w int64)) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d outside [0,%d)", u, g.n))
+	}
+	vs := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	for _, v := range vs {
+		fn(v, g.adj[u][v])
+	}
+}
+
+// Degree returns the number of distinct neighbors of u.
+func (g *Graph) Degree(u int) int {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d outside [0,%d)", u, g.n))
+	}
+	return len(g.adj[u])
+}
+
+// WeightedDegree returns the sum of edge weights incident to u.
+func (g *Graph) WeightedDegree(u int) int64 {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d outside [0,%d)", u, g.n))
+	}
+	var s int64
+	for _, w := range g.adj[u] {
+		s += w
+	}
+	return s
+}
+
+// Edges returns all edges sorted by descending weight, breaking ties by
+// (U,V) ascending for determinism.
+func (g *Graph) Edges() []Edge {
+	var es []Edge
+	for u := 0; u < g.n; u++ {
+		for v, w := range g.adj[u] {
+			if u < v {
+				es = append(es, Edge{U: u, V: v, W: w})
+			}
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].W != es[j].W {
+			return es[i].W > es[j].W
+		}
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	return es
+}
+
+// EachEdge calls fn for every distinct edge in unspecified order. It is
+// the allocation- and sort-free iteration used by hot evaluation paths;
+// use Edges when deterministic ordering matters.
+func (g *Graph) EachEdge(fn func(u, v int, w int64)) {
+	for u := 0; u < g.n; u++ {
+		for v, w := range g.adj[u] {
+			if u < v {
+				fn(u, v, w)
+			}
+		}
+	}
+}
+
+// NumEdges returns the number of distinct edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for u := 0; u < g.n; u++ {
+		total += len(g.adj[u])
+	}
+	return total / 2
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() int64 {
+	var s int64
+	for u := 0; u < g.n; u++ {
+		for v, w := range g.adj[u] {
+			if u < v {
+				s += w
+			}
+		}
+	}
+	return s
+}
+
+// Components returns the connected components as slices of vertex IDs,
+// each sorted ascending, ordered by their smallest vertex. Isolated
+// vertices form singleton components.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// CutWeight returns the total weight of edges with exactly one endpoint in
+// the given set (passed as a membership mask of length N).
+func (g *Graph) CutWeight(inSet []bool) int64 {
+	if len(inSet) != g.n {
+		panic(fmt.Sprintf("graph: mask length %d != N %d", len(inSet), g.n))
+	}
+	var s int64
+	for u := 0; u < g.n; u++ {
+		if !inSet[u] {
+			continue
+		}
+		for v, w := range g.adj[u] {
+			if !inSet[v] {
+				s += w
+			}
+		}
+	}
+	return s
+}
+
+// Subgraph returns the induced subgraph on the given vertices together
+// with the mapping from new IDs (0..len(vs)-1) to original IDs. Vertices
+// must be distinct and valid.
+func (g *Graph) Subgraph(vs []int) (*Graph, []int, error) {
+	if len(vs) == 0 {
+		return nil, nil, fmt.Errorf("graph: empty subgraph")
+	}
+	newID := make(map[int]int, len(vs))
+	for i, v := range vs {
+		if v < 0 || v >= g.n {
+			return nil, nil, fmt.Errorf("graph: subgraph vertex %d outside [0,%d)", v, g.n)
+		}
+		if _, dup := newID[v]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate subgraph vertex %d", v)
+		}
+		newID[v] = i
+	}
+	sub, err := New(len(vs))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, u := range vs {
+		for v, w := range g.adj[u] {
+			nu, nv := newID[u], 0
+			var ok bool
+			if nv, ok = newID[v]; !ok {
+				continue
+			}
+			if nu < nv {
+				sub.AddWeight(nu, nv, w)
+			}
+		}
+	}
+	return sub, append([]int(nil), vs...), nil
+}
+
+// MaxSpanningForest returns the edges of a maximum-weight spanning forest
+// (Kruskal over descending weights). Heavy edges kept together guide the
+// chain-growing heuristic.
+func (g *Graph) MaxSpanningForest() []Edge {
+	parent := make([]int, g.n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var forest []Edge
+	for _, e := range g.Edges() {
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			parent[ru] = rv
+			forest = append(forest, e)
+		}
+	}
+	return forest
+}

@@ -1,0 +1,271 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func mustNew(t *testing.T, n int) *Graph {
+	t.Helper()
+	g, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewRejectsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d) accepted", n)
+		}
+	}
+}
+
+func TestAddWeightSymmetric(t *testing.T) {
+	g := mustNew(t, 4)
+	g.AddWeight(1, 3, 5)
+	if g.Weight(1, 3) != 5 || g.Weight(3, 1) != 5 {
+		t.Errorf("weights: %d, %d", g.Weight(1, 3), g.Weight(3, 1))
+	}
+	g.AddWeight(3, 1, 2)
+	if g.Weight(1, 3) != 7 {
+		t.Errorf("accumulated weight = %d, want 7", g.Weight(1, 3))
+	}
+	g.AddWeight(1, 3, -7)
+	if g.Weight(1, 3) != 0 || g.Degree(1) != 0 {
+		t.Error("zeroed edge not removed")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	g := mustNew(t, 3)
+	cases := []func(){
+		func() { g.AddWeight(0, 0, 1) },
+		func() { g.AddWeight(-1, 1, 1) },
+		func() { g.AddWeight(0, 3, 1) },
+		func() { g.Weight(0, 0) },
+		func() { g.Degree(5) },
+		func() { g.WeightedDegree(-1) },
+		func() { g.Neighbors(9, func(int, int64) {}) },
+		func() { g.CutWeight([]bool{true}) },
+		func() {
+			g.AddWeight(0, 1, 1)
+			g.AddWeight(0, 1, -2)
+		},
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	tr := trace.New("t", 4)
+	for _, it := range []int{0, 1, 0, 0, 2, 1} {
+		tr.Read(it)
+	}
+	g, err := FromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 {
+		t.Errorf("N = %d", g.N())
+	}
+	if g.Weight(0, 1) != 2 || g.Weight(0, 2) != 1 || g.Weight(1, 2) != 1 {
+		t.Errorf("weights wrong: %d %d %d", g.Weight(0, 1), g.Weight(0, 2), g.Weight(1, 2))
+	}
+	// Self transition 0->0 ignored.
+	if g.TotalWeight() != 4 {
+		t.Errorf("TotalWeight = %d, want 4", g.TotalWeight())
+	}
+	bad := trace.New("bad", 1)
+	bad.Read(3)
+	if _, err := FromTrace(bad); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestNeighborsDeterministicOrder(t *testing.T) {
+	g := mustNew(t, 5)
+	g.AddWeight(2, 4, 1)
+	g.AddWeight(2, 0, 2)
+	g.AddWeight(2, 3, 3)
+	var got []int
+	g.Neighbors(2, func(v int, w int64) { got = append(got, v) })
+	if !reflect.DeepEqual(got, []int{0, 3, 4}) {
+		t.Errorf("neighbor order = %v", got)
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := mustNew(t, 5)
+	g.AddWeight(0, 1, 3)
+	g.AddWeight(2, 3, 7)
+	g.AddWeight(1, 4, 3)
+	es := g.Edges()
+	want := []Edge{{2, 3, 7}, {0, 1, 3}, {1, 4, 3}}
+	if !reflect.DeepEqual(es, want) {
+		t.Errorf("Edges = %v, want %v", es, want)
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestEachEdgeMatchesEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := mustNew(t, 12)
+	for i := 0; i < 40; i++ {
+		u, v := rng.Intn(12), rng.Intn(12)
+		if u != v {
+			g.AddWeight(u, v, int64(rng.Intn(5)+1))
+		}
+	}
+	got := map[[2]int]int64{}
+	g.EachEdge(func(u, v int, w int64) {
+		if u >= v {
+			t.Fatalf("EachEdge emitted unordered pair (%d,%d)", u, v)
+		}
+		if _, dup := got[[2]int{u, v}]; dup {
+			t.Fatalf("EachEdge emitted (%d,%d) twice", u, v)
+		}
+		got[[2]int{u, v}] = w
+	})
+	want := map[[2]int]int64{}
+	for _, e := range g.Edges() {
+		want[[2]int{e.U, e.V}] = e.W
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("EachEdge = %v, Edges = %v", got, want)
+	}
+}
+
+func TestDegreeAndWeightedDegree(t *testing.T) {
+	g := mustNew(t, 4)
+	g.AddWeight(0, 1, 3)
+	g.AddWeight(0, 2, 4)
+	if g.Degree(0) != 2 || g.WeightedDegree(0) != 7 {
+		t.Errorf("deg=%d wdeg=%d", g.Degree(0), g.WeightedDegree(0))
+	}
+	if g.Degree(3) != 0 || g.WeightedDegree(3) != 0 {
+		t.Error("isolated vertex has nonzero degree")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := mustNew(t, 6)
+	g.AddWeight(0, 1, 1)
+	g.AddWeight(1, 2, 1)
+	g.AddWeight(4, 5, 1)
+	comps := g.Components()
+	want := [][]int{{0, 1, 2}, {3}, {4, 5}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Errorf("Components = %v, want %v", comps, want)
+	}
+}
+
+func TestCutWeight(t *testing.T) {
+	g := mustNew(t, 4)
+	g.AddWeight(0, 1, 3)
+	g.AddWeight(1, 2, 5)
+	g.AddWeight(2, 3, 7)
+	mask := []bool{true, true, false, false}
+	if got := g.CutWeight(mask); got != 5 {
+		t.Errorf("CutWeight = %d, want 5", got)
+	}
+	all := []bool{true, true, true, true}
+	if got := g.CutWeight(all); got != 0 {
+		t.Errorf("CutWeight(all) = %d, want 0", got)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := mustNew(t, 5)
+	g.AddWeight(0, 1, 1)
+	g.AddWeight(1, 2, 2)
+	g.AddWeight(2, 3, 3)
+	sub, ids, err := g.Subgraph([]int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []int{1, 2, 4}) {
+		t.Errorf("ids = %v", ids)
+	}
+	if sub.N() != 3 || sub.Weight(0, 1) != 2 || sub.NumEdges() != 1 {
+		t.Errorf("subgraph wrong: N=%d w=%d edges=%d", sub.N(), sub.Weight(0, 1), sub.NumEdges())
+	}
+	if _, _, err := g.Subgraph(nil); err == nil {
+		t.Error("empty subgraph accepted")
+	}
+	if _, _, err := g.Subgraph([]int{0, 0}); err == nil {
+		t.Error("duplicate vertices accepted")
+	}
+	if _, _, err := g.Subgraph([]int{9}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+}
+
+func TestMaxSpanningForest(t *testing.T) {
+	g := mustNew(t, 4)
+	g.AddWeight(0, 1, 10)
+	g.AddWeight(1, 2, 5)
+	g.AddWeight(0, 2, 1) // cycle edge, lightest: excluded
+	g.AddWeight(2, 3, 7)
+	forest := g.MaxSpanningForest()
+	if len(forest) != 3 {
+		t.Fatalf("forest size = %d, want 3", len(forest))
+	}
+	var total int64
+	for _, e := range forest {
+		total += e.W
+	}
+	if total != 22 {
+		t.Errorf("forest weight = %d, want 22", total)
+	}
+}
+
+// Property: the forest of an n-vertex graph with c components has n-c
+// edges, and total graph weight equals the sum over Edges().
+func TestForestAndWeightInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 2
+		g, err := New(n)
+		if err != nil {
+			return false
+		}
+		var want int64
+		for i := 0; i < rng.Intn(40); i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			w := int64(rng.Intn(9) + 1)
+			if g.Weight(u, v) == 0 {
+				want += w
+			} else {
+				want += w
+			}
+			g.AddWeight(u, v, w)
+		}
+		if g.TotalWeight() != want {
+			return false
+		}
+		forest := g.MaxSpanningForest()
+		return len(forest) == n-len(g.Components())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

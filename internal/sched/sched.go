@@ -1,0 +1,181 @@
+// Package sched models request scheduling in a DWM controller: a small
+// window of pending accesses that the controller may serve out of order
+// to reduce shifts, the racetrack analog of disk SSTF/elevator
+// scheduling. Reordering preserves per-item program order (an access
+// never overtakes an earlier access to the same item), so read-after-
+// write and write-after-write dependences hold; accesses to distinct
+// items commute.
+//
+// Besides total shifts, the package reports the maximum queueing delay
+// (in service slots) any request suffered — the starvation metric that
+// separates SSTF (fast, unfair) from elevator (nearly as fast, bounded
+// delay).
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/dwm"
+	"repro/internal/layout"
+	"repro/internal/trace"
+)
+
+// Policy selects the service order within the window.
+type Policy int
+
+const (
+	// FIFO serves requests strictly in arrival order (window size is
+	// irrelevant): the baseline.
+	FIFO Policy = iota
+	// SSTF serves the eligible request with the smallest shift cost from
+	// the current head position (greedy, can starve outliers).
+	SSTF
+	// Elevator sweeps the tape in one direction serving eligible
+	// requests in its path, reversing at the extremes (bounded delay).
+	Elevator
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case SSTF:
+		return "sstf"
+	case Elevator:
+		return "elevator"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Result aggregates one scheduled run.
+type Result struct {
+	// Shifts is the total shift count.
+	Shifts int64
+	// MaxDelay is the largest number of service slots any request waited
+	// beyond its arrival order (0 for FIFO).
+	MaxDelay int
+}
+
+// Run serves the trace through a reorder window on a fresh single-tape
+// device sized to the placement. window is the number of pending
+// requests the controller may choose among; 1 (or FIFO) degenerates to
+// in-order service.
+func Run(tr *trace.Trace, p layout.Placement, tapeLen, window int, pol Policy) (Result, error) {
+	if err := tr.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sched: %w", err)
+	}
+	if err := p.Validate(tapeLen); err != nil {
+		return Result{}, fmt.Errorf("sched: %w", err)
+	}
+	if tr.NumItems > len(p) {
+		return Result{}, fmt.Errorf("sched: trace has %d items, placement covers %d",
+			tr.NumItems, len(p))
+	}
+	if window < 1 {
+		return Result{}, fmt.Errorf("sched: window must be >= 1, got %d", window)
+	}
+	dev, err := dwm.NewDevice(dwm.Geometry{
+		Tapes: 1, DomainsPerTape: tapeLen, PortsPerTape: 1,
+	}, dwm.DefaultParams())
+	if err != nil {
+		return Result{}, err
+	}
+	tape, err := dev.Tape(0)
+	if err != nil {
+		return Result{}, err
+	}
+	port := dev.Geometry().PortPositions()[0]
+
+	type req struct {
+		access trace.Access
+		seq    int // arrival index
+	}
+	var pending []req
+	nextArrival := 0
+	served := 0
+	res := Result{}
+	direction := 1 // elevator sweep direction
+
+	// eligible reports whether pending[i] may be served now: no earlier
+	// pending request touches the same item.
+	eligible := func(i int) bool {
+		for j := range pending {
+			if pending[j].seq < pending[i].seq && pending[j].access.Item == pending[i].access.Item {
+				return false
+			}
+		}
+		return true
+	}
+	headPos := func() int { return port + tape.Offset() } // slot under the port
+
+	for nextArrival < tr.Len() || len(pending) > 0 {
+		for len(pending) < window && nextArrival < tr.Len() {
+			pending = append(pending, req{access: tr.Accesses[nextArrival], seq: nextArrival})
+			nextArrival++
+		}
+		// Choose the next request.
+		choice := -1
+		switch pol {
+		case FIFO:
+			// Pending is kept in arrival order; the head of the queue is
+			// always eligible.
+			choice = 0
+		case SSTF:
+			bestD := 0
+			for i := range pending {
+				if !eligible(i) {
+					continue
+				}
+				d := p[pending[i].access.Item] - headPos()
+				if d < 0 {
+					d = -d
+				}
+				if choice == -1 || d < bestD || (d == bestD && pending[i].seq < pending[choice].seq) {
+					choice, bestD = i, d
+				}
+			}
+		case Elevator:
+			for pass := 0; pass < 2 && choice == -1; pass++ {
+				bestD := 0
+				for i := range pending {
+					if !eligible(i) {
+						continue
+					}
+					d := (p[pending[i].access.Item] - headPos()) * direction
+					if d < 0 {
+						continue // behind the sweep
+					}
+					if choice == -1 || d < bestD || (d == bestD && pending[i].seq < pending[choice].seq) {
+						choice, bestD = i, d
+					}
+				}
+				if choice == -1 {
+					direction = -direction // end of sweep: reverse
+				}
+			}
+		default:
+			return Result{}, fmt.Errorf("sched: unknown policy %d", int(pol))
+		}
+		if choice == -1 {
+			return Result{}, fmt.Errorf("sched: no eligible request (internal)")
+		}
+
+		r := pending[choice]
+		pending = append(pending[:choice], pending[choice+1:]...)
+		slot := p[r.access.Item]
+		if r.access.Write {
+			if _, err := tape.Write(slot, uint64(r.seq)+1); err != nil {
+				return Result{}, err
+			}
+		} else if _, _, err := tape.Read(slot); err != nil {
+			return Result{}, err
+		}
+		if delay := served - r.seq; delay > res.MaxDelay {
+			res.MaxDelay = delay
+		}
+		served++
+	}
+	res.Shifts = tape.Shifts()
+	return res, nil
+}

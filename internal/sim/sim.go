@@ -1,0 +1,180 @@
+// Package sim executes access traces against the dwm device model under a
+// placement and reports the resulting shift, latency, and energy totals.
+//
+// The simulator is the ground truth of the evaluation: the analytic
+// evaluators in internal/cost predict shift counts, and the property tests
+// assert that simulation and prediction agree exactly. Latency and energy
+// are derived from the device counters using the device's Params, which is
+// faithful to how DWM architecture studies report those metrics (shifts
+// dominate; reads and writes contribute fixed per-access terms).
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dwm"
+	"repro/internal/layout"
+	"repro/internal/trace"
+)
+
+// HeadPolicy selects what the simulator does with tape heads between
+// simulated iterations of Run (ablation E9 compares the options).
+type HeadPolicy int
+
+const (
+	// HeadStay leaves every head where the last access parked it (the
+	// default, matching the analytic cost model).
+	HeadStay HeadPolicy = iota
+	// HeadReturn shifts every tape back to offset zero after each run,
+	// charging those shifts, modeling controllers that re-home tapes.
+	HeadReturn
+)
+
+// Result aggregates one simulation run.
+type Result struct {
+	// Shifts, Reads, Writes are the device operation counts.
+	Counters dwm.Counters
+	// LatencyNS and EnergyPJ are derived from Counters with the device
+	// parameters.
+	LatencyNS float64
+	EnergyPJ  float64
+	// Accesses is the number of trace events served.
+	Accesses int
+	// PerTape breaks the counters down by tape.
+	PerTape []dwm.Counters
+	// ShiftDist summarizes the per-access shift distance distribution:
+	// placement determines not just the total but the tail, and the tail
+	// is what bounds worst-case access latency.
+	ShiftDist ShiftDistribution
+}
+
+// ShiftDistribution summarizes per-access shift distances.
+type ShiftDistribution struct {
+	Mean float64
+	P50  int
+	P95  int
+	Max  int
+}
+
+// distribution computes the summary from the raw per-access counts. The
+// input slice is sorted in place.
+func distribution(perAccess []int) ShiftDistribution {
+	if len(perAccess) == 0 {
+		return ShiftDistribution{}
+	}
+	sort.Ints(perAccess)
+	var sum int64
+	for _, v := range perAccess {
+		sum += int64(v)
+	}
+	at := func(q float64) int {
+		i := int(q * float64(len(perAccess)-1))
+		return perAccess[i]
+	}
+	return ShiftDistribution{
+		Mean: float64(sum) / float64(len(perAccess)),
+		P50:  at(0.50),
+		P95:  at(0.95),
+		Max:  perAccess[len(perAccess)-1],
+	}
+}
+
+// Simulator binds a device to a multi-placement.
+type Simulator struct {
+	dev *dwm.Device
+	mp  layout.MultiPlacement
+	pol HeadPolicy
+}
+
+// New builds a simulator. The placement must be valid for the device
+// geometry.
+func New(dev *dwm.Device, mp layout.MultiPlacement, pol HeadPolicy) (*Simulator, error) {
+	g := dev.Geometry()
+	if err := mp.Validate(g.Tapes, g.DomainsPerTape); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return &Simulator{dev: dev, mp: mp.Clone(), pol: pol}, nil
+}
+
+// NewSingleTape builds a simulator for a single-tape device from a plain
+// placement.
+func NewSingleTape(dev *dwm.Device, p layout.Placement, pol HeadPolicy) (*Simulator, error) {
+	if dev.Geometry().Tapes != 1 {
+		return nil, fmt.Errorf("sim: device has %d tapes, want 1", dev.Geometry().Tapes)
+	}
+	return New(dev, layout.SingleTape(p), pol)
+}
+
+// Address returns the device address of an item under the simulator's
+// placement.
+func (s *Simulator) Address(item int) (dwm.Address, error) {
+	if item < 0 || item >= s.mp.Items() {
+		return dwm.Address{}, fmt.Errorf("sim: item %d outside [0,%d)", item, s.mp.Items())
+	}
+	return dwm.Address{Tape: s.mp.Tape[item], Slot: s.mp.Slot[item]}, nil
+}
+
+// Run serves every access of the trace in order and returns the totals
+// accumulated *by this call* (device counters are snapshotted around the
+// run, so repeated runs return per-run results). Reads return whatever the
+// device holds; writes store a value derived from the access index so
+// that data integrity can be checked by tests.
+func (s *Simulator) Run(t *trace.Trace) (Result, error) {
+	if err := t.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
+	if t.NumItems > s.mp.Items() {
+		return Result{}, fmt.Errorf("sim: trace has %d items, placement covers %d",
+			t.NumItems, s.mp.Items())
+	}
+	before := s.dev.Counters()
+	beforeTapes := s.dev.TapeCounters()
+	perAccess := make([]int, 0, t.Len())
+	for i, a := range t.Accesses {
+		addr, err := s.Address(a.Item)
+		if err != nil {
+			return Result{}, err
+		}
+		var shifts int
+		if a.Write {
+			if shifts, err = s.dev.Write(addr, uint64(i)+1); err != nil {
+				return Result{}, err
+			}
+		} else if _, shifts, err = s.dev.Read(addr); err != nil {
+			return Result{}, err
+		}
+		perAccess = append(perAccess, shifts)
+	}
+	if s.pol == HeadReturn {
+		s.dev.ResetPositions()
+	}
+	after := s.dev.Counters()
+	afterTapes := s.dev.TapeCounters()
+
+	res := Result{
+		Counters: dwm.Counters{
+			Shifts: after.Shifts - before.Shifts,
+			Reads:  after.Reads - before.Reads,
+			Writes: after.Writes - before.Writes,
+		},
+		Accesses: t.Len(),
+		PerTape:  make([]dwm.Counters, len(afterTapes)),
+	}
+	for i := range afterTapes {
+		res.PerTape[i] = dwm.Counters{
+			Shifts: afterTapes[i].Shifts - beforeTapes[i].Shifts,
+			Reads:  afterTapes[i].Reads - beforeTapes[i].Reads,
+			Writes: afterTapes[i].Writes - beforeTapes[i].Writes,
+		}
+	}
+	p := s.dev.Params()
+	res.LatencyNS = res.Counters.LatencyNS(p)
+	res.EnergyPJ = res.Counters.EnergyPJ(p)
+	res.ShiftDist = distribution(perAccess)
+	return res, nil
+}
+
+// Device exposes the underlying device (for inspection in tests and
+// examples).
+func (s *Simulator) Device() *dwm.Device { return s.dev }

@@ -1,0 +1,149 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// MaxTraceLen caps the number of accesses a spec may generate, guarding
+// against runaway loop bounds in user-supplied files. Two million
+// accesses is two orders of magnitude above the largest evaluation trace
+// while keeping the worst-case allocation a few tens of megabytes.
+const MaxTraceLen = 2_000_000
+
+// arrayLayout is the resolved item-space layout of one array.
+type arrayLayout struct {
+	base int
+	dims []int
+	size int
+}
+
+// Trace executes the program and returns the recorded access trace.
+// Arrays occupy item IDs in declaration order (row-major within an
+// array); every index is bounds-checked per dimension.
+func (p *Program) Trace(name string) (*trace.Trace, error) {
+	layouts := make(map[string]arrayLayout, len(p.arrays))
+	base := 0
+	for _, d := range p.arrays {
+		size := 1
+		for _, dim := range d.dims {
+			size *= dim
+		}
+		layouts[d.name] = arrayLayout{base: base, dims: d.dims, size: size}
+		base += size
+	}
+	t := trace.New(name, base)
+	env := map[string]int{}
+	if err := p.run(p.body, env, layouts, t); err != nil {
+		return nil, err
+	}
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("spec: program generated no accesses")
+	}
+	return t, nil
+}
+
+// Items returns the total declared item count (the scratchpad footprint).
+func (p *Program) Items() int {
+	total := 0
+	for _, d := range p.arrays {
+		size := 1
+		for _, dim := range d.dims {
+			size *= dim
+		}
+		total += size
+	}
+	return total
+}
+
+// ArrayNames returns the declared array names in order.
+func (p *Program) ArrayNames() []string {
+	names := make([]string, len(p.arrays))
+	for i, d := range p.arrays {
+		names[i] = d.name
+	}
+	return names
+}
+
+// Groups returns the item -> array-index table (for object-granularity
+// placement of spec programs).
+func (p *Program) Groups() []int {
+	g := make([]int, 0, p.Items())
+	for gi, d := range p.arrays {
+		size := 1
+		for _, dim := range d.dims {
+			size *= dim
+		}
+		for k := 0; k < size; k++ {
+			g = append(g, gi)
+		}
+	}
+	return g
+}
+
+func (p *Program) run(body []stmt, env map[string]int, layouts map[string]arrayLayout, t *trace.Trace) error {
+	for _, s := range body {
+		switch s := s.(type) {
+		case accessStmt:
+			item, err := p.resolve(s, env, layouts)
+			if err != nil {
+				return err
+			}
+			if t.Len() >= MaxTraceLen {
+				return fmt.Errorf("spec: trace exceeds %d accesses; check loop bounds", MaxTraceLen)
+			}
+			if s.write {
+				t.Write(item)
+			} else {
+				t.Read(item)
+			}
+		case loopStmt:
+			lo, err := s.lo.eval(env)
+			if err != nil {
+				return err
+			}
+			hi, err := s.hi.eval(env)
+			if err != nil {
+				return err
+			}
+			if _, shadow := env[s.varName]; shadow {
+				return fmt.Errorf("spec: line %d: loop variable %q shadows an outer loop", s.line, s.varName)
+			}
+			for v := lo; v < hi; v++ {
+				env[s.varName] = v
+				if err := p.run(s.body, env, layouts, t); err != nil {
+					return err
+				}
+			}
+			delete(env, s.varName)
+		default:
+			return fmt.Errorf("spec: internal: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+func (p *Program) resolve(s accessStmt, env map[string]int, layouts map[string]arrayLayout) (int, error) {
+	lay, ok := layouts[s.array]
+	if !ok {
+		return 0, fmt.Errorf("spec: line %d: undeclared array %q", s.line, s.array)
+	}
+	if len(s.indices) != len(lay.dims) {
+		return 0, fmt.Errorf("spec: line %d: array %q has %d dimensions, got %d indices",
+			s.line, s.array, len(lay.dims), len(s.indices))
+	}
+	offset := 0
+	for k, e := range s.indices {
+		v, err := e.eval(env)
+		if err != nil {
+			return 0, err
+		}
+		if v < 0 || v >= lay.dims[k] {
+			return 0, fmt.Errorf("spec: line %d: %s index %d out of range [0,%d)",
+				s.line, s.array, v, lay.dims[k])
+		}
+		offset = offset*lay.dims[k] + v
+	}
+	return lay.base + offset, nil
+}

@@ -1,0 +1,34 @@
+package spec_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/spec"
+)
+
+// ExampleParse compiles a two-array kernel and executes it into a trace.
+func ExampleParse() {
+	prog, err := spec.Parse(`
+array src 4
+array dst 4
+loop i 0 4 {
+    read src[i]
+    write dst[3-i]
+}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := prog.Trace("reverse copy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("arrays: %v\n", prog.ArrayNames())
+	fmt.Printf("items: %d, accesses: %d\n", tr.NumItems, tr.Len())
+	fmt.Printf("first four: %v\n", tr.Items()[:4])
+	// Output:
+	// arrays: [src dst]
+	// items: 8, accesses: 8
+	// first four: [0 7 1 6]
+}

@@ -1,0 +1,167 @@
+// Package spec implements a small kernel-specification language that
+// compiles to access traces, standing in for the compiler frontend that
+// produced the paper's traces. A spec declares scratchpad arrays and
+// describes the loop nest that accesses them:
+//
+//	# 8-tap FIR over 16 samples
+//	array d 8
+//	array c 8
+//	loop s 0 16 {
+//	    loop i 0 8 {
+//	        read d[i]
+//	        read c[i]
+//	    }
+//	    write d[0]
+//	}
+//
+// Index expressions are integer arithmetic (+ - * / %) over loop
+// variables and literals, with parentheses; multi-dimensional arrays use
+// comma-separated indices (array m 4 4; read m[i, j]). Parse builds the
+// program; Program.Trace executes the loop nest and records every access,
+// bounds-checked against the declarations.
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokenKind enumerates lexical classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokLBrace  // {
+	tokRBrace  // }
+	tokLBrack  // [
+	tokRBrack  // ]
+	tokLParen  // (
+	tokRParen  // )
+	tokComma   // ,
+	tokPlus    // +
+	tokMinus   // -
+	tokStar    // *
+	tokSlash   // /
+	tokPercent // %
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLBrack:
+		return "'['"
+	case tokRBrack:
+		return "']'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokPercent:
+		return "'%'"
+	}
+	return "unknown token"
+}
+
+// token is one lexeme with its source line for error reporting.
+type token struct {
+	kind tokenKind
+	text string
+	val  int // for tokInt
+	line int
+}
+
+// lex tokenizes the source. '#' starts a comment to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	rs := []rune(src)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case r == '\n':
+			line++
+			i++
+		case unicode.IsSpace(r):
+			i++
+		case r == '#':
+			for i < len(rs) && rs[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: string(rs[i:j]), line: line})
+			i = j
+		case unicode.IsDigit(r):
+			j := i
+			for j < len(rs) && unicode.IsDigit(rs[j]) {
+				j++
+			}
+			v, err := strconv.Atoi(string(rs[i:j]))
+			if err != nil {
+				return nil, fmt.Errorf("spec: line %d: bad integer %q", line, string(rs[i:j]))
+			}
+			toks = append(toks, token{kind: tokInt, text: string(rs[i:j]), val: v, line: line})
+			i = j
+		default:
+			kind := tokEOF
+			switch r {
+			case '{':
+				kind = tokLBrace
+			case '}':
+				kind = tokRBrace
+			case '[':
+				kind = tokLBrack
+			case ']':
+				kind = tokRBrack
+			case '(':
+				kind = tokLParen
+			case ')':
+				kind = tokRParen
+			case ',':
+				kind = tokComma
+			case '+':
+				kind = tokPlus
+			case '-':
+				kind = tokMinus
+			case '*':
+				kind = tokStar
+			case '/':
+				kind = tokSlash
+			case '%':
+				kind = tokPercent
+			default:
+				return nil, fmt.Errorf("spec: line %d: unexpected character %q", line, string(r))
+			}
+			toks = append(toks, token{kind: kind, text: string(r), line: line})
+			i++
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}

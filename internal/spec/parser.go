@@ -1,0 +1,349 @@
+package spec
+
+import "fmt"
+
+// AST node types. The language is small enough that a flat statement
+// union with a recursive-descent parser stays readable.
+
+// expr is an integer expression over loop variables.
+type expr interface {
+	eval(env map[string]int) (int, error)
+}
+
+type intLit struct{ v int }
+
+func (e intLit) eval(map[string]int) (int, error) { return e.v, nil }
+
+type varRef struct {
+	name string
+	line int
+}
+
+func (e varRef) eval(env map[string]int) (int, error) {
+	v, ok := env[e.name]
+	if !ok {
+		return 0, fmt.Errorf("spec: line %d: undefined loop variable %q", e.line, e.name)
+	}
+	return v, nil
+}
+
+type binOp struct {
+	op   tokenKind
+	l, r expr
+	line int
+}
+
+func (e binOp) eval(env map[string]int) (int, error) {
+	l, err := e.l.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := e.r.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch e.op {
+	case tokPlus:
+		return l + r, nil
+	case tokMinus:
+		return l - r, nil
+	case tokStar:
+		return l * r, nil
+	case tokSlash:
+		if r == 0 {
+			return 0, fmt.Errorf("spec: line %d: division by zero", e.line)
+		}
+		return l / r, nil
+	case tokPercent:
+		if r == 0 {
+			return 0, fmt.Errorf("spec: line %d: modulo by zero", e.line)
+		}
+		return l % r, nil
+	}
+	return 0, fmt.Errorf("spec: line %d: bad operator", e.line)
+}
+
+type negOp struct {
+	x    expr
+	line int
+}
+
+func (e negOp) eval(env map[string]int) (int, error) {
+	v, err := e.x.eval(env)
+	return -v, err
+}
+
+// stmt is one statement of the loop nest.
+type stmt interface{ isStmt() }
+
+// accessStmt is `read arr[idx...]` or `write arr[idx...]`.
+type accessStmt struct {
+	write   bool
+	array   string
+	indices []expr
+	line    int
+}
+
+func (accessStmt) isStmt() {}
+
+// loopStmt is `loop v lo hi { body }` iterating v over [lo, hi).
+type loopStmt struct {
+	varName string
+	lo, hi  expr
+	body    []stmt
+	line    int
+}
+
+func (loopStmt) isStmt() {}
+
+// arrayDecl declares a scratchpad array with one or more dimensions.
+type arrayDecl struct {
+	name string
+	dims []int
+	line int
+}
+
+// Program is a parsed kernel specification.
+type Program struct {
+	arrays []arrayDecl
+	body   []stmt
+}
+
+// Parse compiles a kernel specification.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("spec: line %d: expected %v, got %v %q", t.line, k, t.kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	seen := map[string]bool{}
+	for p.peek().kind != tokEOF {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("spec: line %d: expected statement, got %v %q", t.line, t.kind, t.text)
+		}
+		if t.text == "array" {
+			d, err := p.arrayDecl()
+			if err != nil {
+				return nil, err
+			}
+			if seen[d.name] {
+				return nil, fmt.Errorf("spec: line %d: array %q redeclared", d.line, d.name)
+			}
+			seen[d.name] = true
+			prog.arrays = append(prog.arrays, d)
+			continue
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.body = append(prog.body, s)
+	}
+	if len(prog.arrays) == 0 {
+		return nil, fmt.Errorf("spec: no arrays declared")
+	}
+	if len(prog.body) == 0 {
+		return nil, fmt.Errorf("spec: no statements")
+	}
+	return prog, nil
+}
+
+func (p *parser) arrayDecl() (arrayDecl, error) {
+	kw := p.next() // "array"
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return arrayDecl{}, err
+	}
+	switch name.text {
+	case "array", "loop", "read", "write":
+		return arrayDecl{}, fmt.Errorf("spec: line %d: %q is a keyword", name.line, name.text)
+	}
+	var dims []int
+	for p.peek().kind == tokInt {
+		d := p.next()
+		if d.val <= 0 {
+			return arrayDecl{}, fmt.Errorf("spec: line %d: dimension must be positive, got %d", d.line, d.val)
+		}
+		dims = append(dims, d.val)
+	}
+	if len(dims) == 0 {
+		return arrayDecl{}, fmt.Errorf("spec: line %d: array %q needs at least one dimension", kw.line, name.text)
+	}
+	return arrayDecl{name: name.text, dims: dims, line: kw.line}, nil
+}
+
+func (p *parser) stmt() (stmt, error) {
+	t := p.peek()
+	switch t.text {
+	case "loop":
+		return p.loopStmt()
+	case "read", "write":
+		return p.accessStmt()
+	}
+	return nil, fmt.Errorf("spec: line %d: expected loop/read/write, got %q", t.line, t.text)
+}
+
+func (p *parser) loopStmt() (stmt, error) {
+	kw := p.next() // "loop"
+	v, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var body []stmt
+	for p.peek().kind != tokRBrace {
+		if p.peek().kind == tokEOF {
+			return nil, fmt.Errorf("spec: line %d: unterminated loop body", kw.line)
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	p.next() // consume '}'
+	return loopStmt{varName: v.text, lo: lo, hi: hi, body: body, line: kw.line}, nil
+}
+
+func (p *parser) accessStmt() (stmt, error) {
+	kw := p.next() // "read" or "write"
+	arr, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrack); err != nil {
+		return nil, err
+	}
+	var indices []expr
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		indices = append(indices, e)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRBrack); err != nil {
+		return nil, err
+	}
+	return accessStmt{
+		write:   kw.text == "write",
+		array:   arr.text,
+		indices: indices,
+		line:    kw.line,
+	}, nil
+}
+
+// expr parses addition/subtraction (lowest precedence).
+func (p *parser) expr() (expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPlus && t.kind != tokMinus {
+			return l, nil
+		}
+		p.next()
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = binOp{op: t.kind, l: l, r: r, line: t.line}
+	}
+}
+
+// term parses multiplication/division/modulo.
+func (p *parser) term() (expr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokStar && t.kind != tokSlash && t.kind != tokPercent {
+			return l, nil
+		}
+		p.next()
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		l = binOp{op: t.kind, l: l, r: r, line: t.line}
+	}
+}
+
+// factor parses literals, variables, parens, and unary minus.
+func (p *parser) factor() (expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokInt:
+		return intLit{v: t.val}, nil
+	case tokIdent:
+		return varRef{name: t.text, line: t.line}, nil
+	case tokMinus:
+		x, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return negOp{x: x, line: t.line}, nil
+	case tokLParen:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("spec: line %d: expected expression, got %v %q", t.line, t.kind, t.text)
+}

@@ -1,0 +1,50 @@
+// Package stats provides the small set of summary statistics the
+// evaluation harness needs for multi-seed robustness reporting.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary holds the moments of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes the summary of a non-empty sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, fmt.Errorf("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s, nil
+}
+
+// String formats the summary as "mean ± stddev [min, max]".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.1f ± %.1f [%.1f, %.1f]", s.Mean, s.Stddev, s.Min, s.Max)
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// AddrEvent is one event of a raw address trace: a byte address and a
+// read/write flag.
+type AddrEvent struct {
+	Addr  uint64
+	Write bool
+}
+
+// MapAddresses converts a raw address stream into an item trace at word
+// granularity: addresses are truncated to wordBytes-aligned words and
+// distinct words become items in first-touch order. It returns the trace
+// together with the item → word-address table, so placements can be
+// translated back to the original address space. wordBytes must be a
+// power of two.
+func MapAddresses(name string, events []AddrEvent, wordBytes int) (*Trace, []uint64, error) {
+	if wordBytes <= 0 || wordBytes&(wordBytes-1) != 0 {
+		return nil, nil, fmt.Errorf("trace: wordBytes %d is not a positive power of two", wordBytes)
+	}
+	if len(events) == 0 {
+		return nil, nil, fmt.Errorf("trace: empty address stream")
+	}
+	mask := ^uint64(wordBytes - 1)
+	id := make(map[uint64]int)
+	var words []uint64
+	t := &Trace{Name: name}
+	for _, e := range events {
+		w := e.Addr & mask
+		item, ok := id[w]
+		if !ok {
+			item = len(words)
+			id[w] = item
+			words = append(words, w)
+		}
+		t.Accesses = append(t.Accesses, Access{Item: item, Write: e.Write})
+	}
+	t.NumItems = len(words)
+	return t, words, nil
+}
+
+// DecodeAddr parses a raw address trace in the line format
+//
+//	R 0x7f001000
+//	W 4096
+//
+// (hex with 0x prefix or decimal; blank lines and '#' comments ignored)
+// and maps it to an item trace at the given word granularity.
+func DecodeAddr(r io.Reader, name string, wordBytes int) (*Trace, []uint64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var events []AddrEvent
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		fields := strings.Fields(s)
+		if len(fields) != 2 || (fields[0] != "R" && fields[0] != "W") {
+			return nil, nil, fmt.Errorf("trace: line %d: want 'R <addr>' or 'W <addr>', got %q", line, s)
+		}
+		addr, err := strconv.ParseUint(fields[1], 0, 64) // base 0: 0x.., 0b.., decimal
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace: line %d: bad address %q: %v", line, fields[1], err)
+		}
+		events = append(events, AddrEvent{Addr: addr, Write: fields[0] == "W"})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return MapAddresses(name, events, wordBytes)
+}

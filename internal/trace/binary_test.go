@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := New("binary demo", 10)
+	tr.Read(3)
+	tr.Write(9)
+	tr.Read(0)
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 1
+		tr := New("p", n)
+		for i := 0; i < rng.Intn(2000); i++ {
+			if rng.Intn(2) == 0 {
+				tr.Read(rng.Intn(n))
+			} else {
+				tr.Write(rng.Intn(n))
+			}
+		}
+		var buf bytes.Buffer
+		if err := EncodeBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := DecodeBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryIsSmallerThanText(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New("size", 64)
+	for i := 0; i < 10000; i++ {
+		tr.Read(rng.Intn(64))
+	}
+	var txt, bin bytes.Buffer
+	if err := Encode(&txt, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len()*3 > txt.Len() {
+		t.Errorf("binary %d bytes not substantially smaller than text %d", bin.Len(), txt.Len())
+	}
+}
+
+func TestBinaryDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short magic", []byte("DW")},
+		{"bad magic", []byte("XXXX....")},
+		{"truncated header", []byte("DWMB")},
+		{"bad version", append([]byte("DWMB"), 9)},
+		{"truncated body", append([]byte("DWMB"), 1, 0, 5, 10)}, // claims 10 accesses, has none
+	}
+	for _, c := range cases {
+		if _, err := DecodeBinary(bytes.NewReader(c.data)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Out-of-range item inside an otherwise well-formed stream.
+	var buf bytes.Buffer
+	tr := New("x", 2)
+	tr.Read(1)
+	if err := EncodeBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-1] = 0x7F // item 63 in a 2-item trace
+	if _, err := DecodeBinary(bytes.NewReader(data)); err == nil {
+		t.Error("out-of-range item accepted")
+	}
+}
+
+func TestDecodeAnySniffsBothFormats(t *testing.T) {
+	tr := New("any", 5)
+	tr.Read(2)
+	tr.Write(4)
+
+	var txt bytes.Buffer
+	if err := Encode(&txt, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAny(&txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Error("text sniff mismatch")
+	}
+
+	var bin bytes.Buffer
+	if err := EncodeBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeAny(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Error("binary sniff mismatch")
+	}
+
+	if _, err := DecodeAny(bytes.NewReader([]byte("no"))); err == nil {
+		t.Error("short junk accepted")
+	}
+}
+
+func FuzzDecodeBinary(f *testing.F) {
+	var seedBuf bytes.Buffer
+	tr := New("seed", 3)
+	tr.Read(0)
+	tr.Write(2)
+	if err := EncodeBinary(&seedBuf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte("DWMB"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("decoded invalid trace: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeBinary(&buf, got); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := DecodeBinary(&buf)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(back, got) {
+			t.Fatal("binary round trip mismatch")
+		}
+	})
+}

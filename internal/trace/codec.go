@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is line oriented:
+//
+//	dwmtrace 1
+//	name <workload name, may contain spaces>
+//	items <N>
+//	R <item>
+//	W <item>
+//	...
+//
+// Blank lines and lines starting with '#' are ignored. The format is
+// deliberately trivial so traces can be produced by any tool (or by hand)
+// and inspected with standard text utilities.
+
+const formatMagic = "dwmtrace"
+
+// Encode writes the trace in the text format.
+func Encode(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s 1\n", formatMagic)
+	if t.Name != "" {
+		fmt.Fprintf(bw, "name %s\n", t.Name)
+	}
+	fmt.Fprintf(bw, "items %d\n", t.NumItems)
+	for _, a := range t.Accesses {
+		op := "R"
+		if a.Write {
+			op = "W"
+		}
+		fmt.Fprintf(bw, "%s %d\n", op, a.Item)
+	}
+	return bw.Flush()
+}
+
+// Decode parses a trace from the text format and validates it.
+func Decode(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s == "" || strings.HasPrefix(s, "#") {
+				continue
+			}
+			return s, true
+		}
+		return "", false
+	}
+
+	hdr, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	fields := strings.Fields(hdr)
+	if len(fields) != 2 || fields[0] != formatMagic {
+		return nil, fmt.Errorf("trace: line %d: bad magic %q", line, hdr)
+	}
+	if fields[1] != "1" {
+		return nil, fmt.Errorf("trace: line %d: unsupported version %q", line, fields[1])
+	}
+
+	t := &Trace{}
+	seenItems := false
+	for {
+		s, ok := next()
+		if !ok {
+			break
+		}
+		switch {
+		case s == "name": // explicit empty name
+			t.Name = ""
+		case strings.HasPrefix(s, "name "):
+			t.Name = strings.TrimSpace(strings.TrimPrefix(s, "name "))
+		case strings.HasPrefix(s, "items "):
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(s, "items ")))
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad items count: %v", line, err)
+			}
+			t.NumItems = n
+			seenItems = true
+		case strings.HasPrefix(s, "R ") || strings.HasPrefix(s, "W "):
+			id, err := strconv.Atoi(strings.TrimSpace(s[2:]))
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad item id: %v", line, err)
+			}
+			t.Accesses = append(t.Accesses, Access{Item: id, Write: s[0] == 'W'})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unrecognized line %q", line, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if !seenItems {
+		return nil, fmt.Errorf("trace: missing 'items' header")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

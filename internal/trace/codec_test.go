@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := New("fir taps=8", 16)
+	tr.Read(3)
+	tr.Write(5)
+	tr.Read(0)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	tr := New("bad", 2)
+	tr.Read(5)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err == nil {
+		t.Error("Encode accepted invalid trace")
+	}
+}
+
+func TestDecodeToleratesCommentsAndBlanks(t *testing.T) {
+	in := `
+# a comment
+dwmtrace 1
+
+name demo
+items 3
+# body
+R 0
+
+W 2
+`
+	tr, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "demo" || tr.NumItems != 3 || tr.Len() != 2 {
+		t.Errorf("decoded %+v", tr)
+	}
+	if !tr.Accesses[1].Write || tr.Accesses[1].Item != 2 {
+		t.Errorf("second access = %+v", tr.Accesses[1])
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad magic", "nottrace 1\nitems 1\n"},
+		{"bad version", "dwmtrace 9\nitems 1\n"},
+		{"missing items", "dwmtrace 1\nname x\nR 0\n"},
+		{"bad items", "dwmtrace 1\nitems many\n"},
+		{"bad id", "dwmtrace 1\nitems 2\nR x\n"},
+		{"out of range", "dwmtrace 1\nitems 2\nR 2\n"},
+		{"junk line", "dwmtrace 1\nitems 2\nZ 0\n"},
+	}
+	for _, c := range cases {
+		if _, err := Decode(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestDecodeNameWithSpaces(t *testing.T) {
+	in := "dwmtrace 1\nname matrix multiply 4x4\nitems 1\nR 0\n"
+	tr, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "matrix multiply 4x4" {
+		t.Errorf("Name = %q", tr.Name)
+	}
+}
+
+// Property: Decode(Encode(t)) == t for arbitrary valid traces.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 1
+		tr := New("prop", n)
+		for i := 0; i < rng.Intn(500); i++ {
+			if rng.Intn(2) == 0 {
+				tr.Read(rng.Intn(n))
+			} else {
+				tr.Write(rng.Intn(n))
+			}
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

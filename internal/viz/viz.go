@@ -1,0 +1,137 @@
+// Package viz renders placements and access statistics as plain-text
+// figures for the CLI tools: a tape map showing where hot items landed
+// relative to the ports, and sparklines/bars for distributions. Pure
+// string formatting — no terminal control sequences — so output is
+// stable, testable, and pipeable.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/layout"
+)
+
+// heatRamp maps intensity 0..1 to a density character.
+var heatRamp = []rune(" .:-=+*#%@")
+
+// heatChar returns the ramp character for x in [0,1].
+func heatChar(x float64) rune {
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	i := int(x * float64(len(heatRamp)-1))
+	return heatRamp[i]
+}
+
+// TapeMap renders a single tape as two lines: a heat line where each slot
+// is shaded by the access frequency of the item stored there (blank =
+// empty slot), and a marker line flagging port positions with '^'. freq
+// is indexed by item ID; items beyond the frequency table count as cold.
+func TapeMap(p layout.Placement, freq []int64, tapeLen int, ports []int) (string, error) {
+	if err := p.Validate(tapeLen); err != nil {
+		return "", fmt.Errorf("viz: %w", err)
+	}
+	itemAt := make([]int, tapeLen)
+	for i := range itemAt {
+		itemAt[i] = -1
+	}
+	for item, slot := range p {
+		itemAt[slot] = item
+	}
+	var maxF int64 = 1
+	for _, f := range freq {
+		if f > maxF {
+			maxF = f
+		}
+	}
+	heat := make([]rune, tapeLen)
+	for s, item := range itemAt {
+		if item < 0 {
+			heat[s] = ' ' // empty slot
+			continue
+		}
+		c := heatRamp[1] // occupied slots render at least '.'
+		if item < len(freq) {
+			if h := heatChar(float64(freq[item]) / float64(maxF)); h != ' ' {
+				c = h
+			}
+		}
+		heat[s] = c
+	}
+	marks := make([]rune, tapeLen)
+	for i := range marks {
+		marks[i] = ' '
+	}
+	for _, q := range ports {
+		if q < 0 || q >= tapeLen {
+			return "", fmt.Errorf("viz: port %d outside [0,%d)", q, tapeLen)
+		}
+		marks[q] = '^'
+	}
+	return "|" + string(heat) + "|\n " + string(marks), nil
+}
+
+// sparkRamp is the 8-level block ramp used by Sparkline.
+var sparkRamp = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a numeric series as unicode block characters scaled
+// to the series maximum. An empty series renders as an empty string;
+// non-positive values render as the lowest block.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	max := xs[0]
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	var sb strings.Builder
+	for _, x := range xs {
+		if max <= 0 || x <= 0 {
+			sb.WriteRune(sparkRamp[0])
+			continue
+		}
+		i := int(x / max * float64(len(sparkRamp)-1))
+		sb.WriteRune(sparkRamp[i])
+	}
+	return sb.String()
+}
+
+// Bar renders a labeled horizontal bar chart, one row per entry, with
+// bars scaled to the given width.
+func Bar(labels []string, values []float64, width int) (string, error) {
+	if len(labels) != len(values) {
+		return "", fmt.Errorf("viz: %d labels for %d values", len(labels), len(values))
+	}
+	if width < 1 {
+		width = 40
+	}
+	max := 0.0
+	labelW := 0
+	for i, v := range values {
+		if v < 0 {
+			return "", fmt.Errorf("viz: negative value %g", v)
+		}
+		if v > max {
+			max = v
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	var sb strings.Builder
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&sb, "%-*s %s %g\n", labelW, labels[i], strings.Repeat("#", n), v)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,112 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/layout"
+)
+
+func TestTapeMapBasics(t *testing.T) {
+	p := layout.Placement{0, 2} // item0 hot at slot0, item1 at slot2
+	freq := []int64{100, 1}
+	out, err := TapeMap(p, freq, 4, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 lines, got %d: %q", len(lines), out)
+	}
+	heat := []rune(lines[0])
+	if heat[0] != '|' || heat[len(heat)-1] != '|' {
+		t.Errorf("heat line not framed: %q", lines[0])
+	}
+	// Slot 0 hottest -> '@'; slot 1 empty -> ' '; slot 2 cold but present.
+	if heat[1] != '@' {
+		t.Errorf("hot slot rendered %q", heat[1])
+	}
+	if heat[2] != ' ' {
+		t.Errorf("empty slot rendered %q", heat[2])
+	}
+	if heat[3] == ' ' {
+		t.Error("occupied cold slot rendered blank")
+	}
+	// Marker line: leading space then one mark per slot; port 1 -> index 2.
+	marks := []rune(lines[1])
+	if marks[2] != '^' {
+		t.Errorf("port marker line %q", lines[1])
+	}
+}
+
+func TestTapeMapErrors(t *testing.T) {
+	if _, err := TapeMap(layout.Placement{0, 0}, nil, 4, []int{0}); err == nil {
+		t.Error("invalid placement accepted")
+	}
+	if _, err := TapeMap(layout.Identity(4), nil, 4, []int{7}); err == nil {
+		t.Error("bad port accepted")
+	}
+}
+
+func TestTapeMapItemBeyondFreqTable(t *testing.T) {
+	p := layout.Identity(3)
+	out, err := TapeMap(p, []int64{5}, 3, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(strings.Split(out, "\n")[0], " ") != 0 {
+		t.Errorf("slots with unknown-frequency items should not be blank: %q", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty series not empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 4})
+	if utf8.RuneCountInString(s) != 4 {
+		t.Errorf("length %d: %q", utf8.RuneCountInString(s), s)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("scaling wrong: %q", s)
+	}
+	// All-zero series renders lowest blocks, no panic.
+	z := Sparkline([]float64{0, 0})
+	if z != "▁▁" {
+		t.Errorf("zero series: %q", z)
+	}
+}
+
+func TestBar(t *testing.T) {
+	out, err := Bar([]string{"a", "bb"}, []float64{2, 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines: %q", out)
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 8)) {
+		t.Errorf("max bar not full width: %q", lines[1])
+	}
+	if strings.Count(lines[0], "#") != 4 {
+		t.Errorf("half bar wrong: %q", lines[0])
+	}
+	if _, err := Bar([]string{"a"}, []float64{1, 2}, 8); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := Bar([]string{"a"}, []float64{-1}, 8); err == nil {
+		t.Error("negative value accepted")
+	}
+}
+
+func TestHeatCharClamps(t *testing.T) {
+	if heatChar(-1) != ' ' {
+		t.Error("below range not clamped to blank")
+	}
+	if heatChar(2) != '@' {
+		t.Error("above range not clamped to max")
+	}
+}

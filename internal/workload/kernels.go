@@ -1,0 +1,350 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// The kernel generators model scratchpad-resident arrays as placeable
+// items and assume scalar temporaries (loop counters, accumulators) are
+// register allocated, which is how embedded compilers treat them and how
+// DWM placement studies frame the problem: only memory-resident data pays
+// shifts.
+
+// FIR generates the access trace of a taps-tap FIR filter processing the
+// given number of samples. Items are the delay line d[0..taps-1] followed
+// by the coefficient array c[0..taps-1]. Per sample the kernel shifts the
+// delay line (read d[i-1], write d[i]), writes the new sample into d[0],
+// and then runs the multiply-accumulate loop (read d[i], read c[i]).
+func FIR(taps, samples int) *trace.Trace {
+	tr := trace.New(fmt.Sprintf("fir taps=%d samples=%d", taps, samples), 2*taps)
+	d := func(i int) int { return i }
+	c := func(i int) int { return taps + i }
+	for s := 0; s < samples; s++ {
+		for i := taps - 1; i >= 1; i-- {
+			tr.Read(d(i - 1))
+			tr.Write(d(i))
+		}
+		tr.Write(d(0))
+		for i := 0; i < taps; i++ {
+			tr.Read(d(i))
+			tr.Read(c(i))
+		}
+	}
+	return tr
+}
+
+// IIR generates the access trace of a cascade of biquad IIR sections, each
+// with two state variables and five coefficients, processing the given
+// number of samples. Items are laid out per section:
+// [w1, w2, b0, b1, b2, a1, a2]. The per-sample, per-section direct-form-II
+// evaluation touches the section's items in a fixed order, giving the
+// strongly clustered access structure typical of DSP kernels.
+func IIR(sections, samples int) *trace.Trace {
+	const vars = 7
+	tr := trace.New(fmt.Sprintf("iir sections=%d samples=%d", sections, samples), vars*sections)
+	at := func(sec, v int) int { return sec*vars + v }
+	for s := 0; s < samples; s++ {
+		for sec := 0; sec < sections; sec++ {
+			w1, w2 := at(sec, 0), at(sec, 1)
+			b0, b1, b2 := at(sec, 2), at(sec, 3), at(sec, 4)
+			a1, a2 := at(sec, 5), at(sec, 6)
+			// w0 = x - a1*w1 - a2*w2
+			tr.Read(a1)
+			tr.Read(w1)
+			tr.Read(a2)
+			tr.Read(w2)
+			// y = b0*w0 + b1*w1 + b2*w2
+			tr.Read(b0)
+			tr.Read(b1)
+			tr.Read(w1)
+			tr.Read(b2)
+			tr.Read(w2)
+			// state update
+			tr.Write(w2)
+			tr.Write(w1)
+		}
+	}
+	return tr
+}
+
+// MatMul generates the access trace of an n x n dense matrix multiply
+// C = A*B with a register-allocated accumulator. Items are the elements of
+// A, then B, then C (3*n*n items).
+func MatMul(n int) *trace.Trace {
+	tr := trace.New(fmt.Sprintf("matmul n=%d", n), 3*n*n)
+	a := func(i, k int) int { return i*n + k }
+	b := func(k, j int) int { return n*n + k*n + j }
+	c := func(i, j int) int { return 2*n*n + i*n + j }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				tr.Read(a(i, k))
+				tr.Read(b(k, j))
+			}
+			tr.Write(c(i, j))
+		}
+	}
+	return tr
+}
+
+// FFT generates the access trace of an in-place radix-2 decimation-in-time
+// FFT of size n (a power of two). Items are the n complex data elements
+// followed by the n/2 twiddle factors. The trace covers the bit-reversal
+// permutation and every butterfly (read both ends and the twiddle, write
+// both ends).
+func FFT(n int) *trace.Trace {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("workload: FFT size %d is not a power of two >= 2", n))
+	}
+	tr := trace.New(fmt.Sprintf("fft n=%d", n), n+n/2)
+	tw := func(i int) int { return n + i }
+	// Bit-reversal permutation: swap x[i] and x[rev(i)] for i < rev(i).
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	rev := func(x int) int {
+		r := 0
+		for b := 0; b < bits; b++ {
+			if x&(1<<b) != 0 {
+				r |= 1 << (bits - 1 - b)
+			}
+		}
+		return r
+	}
+	for i := 0; i < n; i++ {
+		j := rev(i)
+		if i < j {
+			tr.Read(i)
+			tr.Read(j)
+			tr.Write(i)
+			tr.Write(j)
+		}
+	}
+	// Butterfly stages.
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				tr.Read(tw(k * step))
+				tr.Read(start + k)
+				tr.Read(start + k + half)
+				tr.Write(start + k)
+				tr.Write(start + k + half)
+			}
+		}
+	}
+	return tr
+}
+
+// InsertionSort generates the data-dependent access trace of insertion
+// sort over m elements whose initial values are drawn from the seeded RNG.
+// Items are the array elements by position.
+func InsertionSort(m int, seed int64) *trace.Trace {
+	tr := trace.New(fmt.Sprintf("insertion-sort m=%d", m), m)
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int, m)
+	for i := range vals {
+		vals[i] = rng.Intn(1 << 20)
+	}
+	for i := 1; i < m; i++ {
+		tr.Read(i) // key = a[i]
+		key := vals[i]
+		j := i - 1
+		for j >= 0 {
+			tr.Read(j)
+			if vals[j] <= key {
+				break
+			}
+			tr.Write(j + 1) // a[j+1] = a[j]
+			vals[j+1] = vals[j]
+			j--
+		}
+		tr.Write(j + 1) // a[j+1] = key
+		vals[j+1] = key
+	}
+	return tr
+}
+
+// Stencil1D generates the trace of a ping-pong 3-point stencil over two
+// arrays of the given cell count, for the given number of sweeps. Items
+// 0..cells-1 are array A, cells..2*cells-1 are array B. Even sweeps read A
+// and write B; odd sweeps read B and write A. Boundary cells are copied.
+func Stencil1D(cells, sweeps int) *trace.Trace {
+	tr := trace.New(fmt.Sprintf("stencil1d cells=%d sweeps=%d", cells, sweeps), 2*cells)
+	for s := 0; s < sweeps; s++ {
+		src, dst := 0, cells
+		if s%2 == 1 {
+			src, dst = cells, 0
+		}
+		for i := 0; i < cells; i++ {
+			if i == 0 || i == cells-1 {
+				tr.Read(src + i)
+				tr.Write(dst + i)
+				continue
+			}
+			tr.Read(src + i - 1)
+			tr.Read(src + i)
+			tr.Read(src + i + 1)
+			tr.Write(dst + i)
+		}
+	}
+	return tr
+}
+
+// Histogram generates the trace of histogram construction over the given
+// number of bins with Zipf(s)-distributed bin indices: each update reads
+// and then writes the selected bin. The bin-to-rank assignment is a seeded
+// random permutation so popular bins are scattered across the ID space (a
+// placement algorithm must discover them; they are not pre-sorted).
+func Histogram(bins, updates int, s float64, seed int64) *trace.Trace {
+	tr := trace.New(fmt.Sprintf("histogram bins=%d updates=%d s=%g", bins, updates, s), bins)
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(bins)
+	cum := zipfCumulative(bins, s)
+	for i := 0; i < updates; i++ {
+		b := perm[sampleCumulative(cum, rng)]
+		tr.Read(b)
+		tr.Write(b)
+	}
+	return tr
+}
+
+// PointerChase generates the trace of walking a random singly linked list
+// of the given node count for the given number of hops. The list is a
+// single cycle drawn from the seeded RNG, so every node is always followed
+// by the same successor: the trace has perfectly predictable adjacency
+// that a good placement can exploit almost completely.
+func PointerChase(nodes, hops int, seed int64) *trace.Trace {
+	tr := trace.New(fmt.Sprintf("ptrchase nodes=%d hops=%d", nodes, hops), nodes)
+	rng := rand.New(rand.NewSource(seed))
+	// A random cyclic permutation via Sattolo's algorithm.
+	next := make([]int, nodes)
+	order := rng.Perm(nodes)
+	for i := 0; i < nodes; i++ {
+		next[order[i]] = order[(i+1)%nodes]
+	}
+	cur := order[0]
+	for i := 0; i < hops; i++ {
+		tr.Read(cur)
+		cur = next[cur]
+	}
+	return tr
+}
+
+// CRC generates the trace of a nibble-at-a-time table-driven CRC over the
+// given number of random input bytes. Items are the two 16-entry lookup
+// tables (high and low nibble), 32 items total; each input byte reads one
+// entry of each.
+func CRC(nbytes int, seed int64) *trace.Trace {
+	tr := trace.New(fmt.Sprintf("crc bytes=%d", nbytes), 32)
+	rng := rand.New(rand.NewSource(seed))
+	crc := uint32(0xFFFFFFFF)
+	for i := 0; i < nbytes; i++ {
+		b := uint32(rng.Intn(256))
+		x := (crc ^ b) & 0xFF
+		tr.Read(int(x >> 4))            // high-nibble table entry
+		tr.Read(16 + int(x&0xF))        // low-nibble table entry
+		crc = crc>>8 ^ (x * 2654435761) // stand-in table value mix
+	}
+	return tr
+}
+
+// Zigzag generates the trace of reading 8x8 coefficient blocks in JPEG
+// zigzag order, once per block. Items are the 64 block positions in
+// row-major order; the access order is the fixed zigzag walk, so the trace
+// is a repeated fixed permutation of the items.
+func Zigzag(blocks int) *trace.Trace {
+	tr := trace.New(fmt.Sprintf("zigzag blocks=%d", blocks), 64)
+	order := zigzagOrder(8)
+	for b := 0; b < blocks; b++ {
+		for _, it := range order {
+			tr.Read(it)
+		}
+	}
+	return tr
+}
+
+// zigzagOrder returns the zigzag scan order of an n x n block as row-major
+// indices.
+func zigzagOrder(n int) []int {
+	out := make([]int, 0, n*n)
+	for d := 0; d < 2*n-1; d++ {
+		if d%2 == 0 { // walk up-right
+			i := d
+			if i > n-1 {
+				i = n - 1
+			}
+			j := d - i
+			for i >= 0 && j < n {
+				out = append(out, i*n+j)
+				i--
+				j++
+			}
+		} else { // walk down-left
+			j := d
+			if j > n-1 {
+				j = n - 1
+			}
+			i := d - j
+			for j >= 0 && i < n {
+				out = append(out, i*n+j)
+				i++
+				j--
+			}
+		}
+	}
+	return out
+}
+
+// Phased generates a workload whose hot set rotates: the trace runs for
+// the given number of phases, each phase drawing Zipf(s)-distributed
+// accesses over a different random rank-to-item assignment. Static
+// placements tuned to one phase lose their advantage in the next, which
+// is the scenario the adaptive (online) placement extension targets.
+func Phased(n, length, phases int, s float64, seed int64) *trace.Trace {
+	if phases < 1 {
+		phases = 1
+	}
+	tr := trace.New(fmt.Sprintf("phased n=%d len=%d phases=%d s=%g", n, length, phases, s), n)
+	rng := rand.New(rand.NewSource(seed))
+	cum := zipfCumulative(n, s)
+	for p := 0; p < phases; p++ {
+		perm := rng.Perm(n)
+		lo := p * length / phases
+		hi := (p + 1) * length / phases
+		for i := lo; i < hi; i++ {
+			tr.Read(perm[sampleCumulative(cum, rng)])
+		}
+	}
+	return tr
+}
+
+// Uniform generates length accesses uniformly at random over n items.
+// This is the adversarial case for placement: no adjacency structure to
+// exploit beyond frequency centering.
+func Uniform(n, length int, seed int64) *trace.Trace {
+	tr := trace.New(fmt.Sprintf("uniform n=%d len=%d", n, length), n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < length; i++ {
+		tr.Read(rng.Intn(n))
+	}
+	return tr
+}
+
+// Zipf generates length accesses over n items with Zipf(s)-distributed
+// popularity and a seeded random rank-to-item assignment.
+func Zipf(n, length int, s float64, seed int64) *trace.Trace {
+	tr := trace.New(fmt.Sprintf("zipf n=%d len=%d s=%g", n, length, s), n)
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	cum := zipfCumulative(n, s)
+	for i := 0; i < length; i++ {
+		tr.Read(perm[sampleCumulative(cum, rng)])
+	}
+	return tr
+}

@@ -1,0 +1,131 @@
+package repro
+
+// This file is the public facade over the internal packages: type aliases
+// and thin wrappers so downstream users can drive the whole system from
+// the single import "repro" while the implementation stays refactorable
+// under internal/.
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dwm"
+	"repro/internal/graph"
+	"repro/internal/layout"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Device model.
+type (
+	// Device is a DWM device: an array of racetrack tapes with ports.
+	Device = dwm.Device
+	// Geometry describes tapes × domains × ports.
+	Geometry = dwm.Geometry
+	// Params holds per-operation latency and energy constants.
+	Params = dwm.Params
+	// Counters aggregates shift/read/write counts.
+	Counters = dwm.Counters
+	// Address identifies a (tape, slot) word location.
+	Address = dwm.Address
+)
+
+// NewDevice builds a device from a validated geometry and parameters.
+func NewDevice(g Geometry, p Params) (*Device, error) { return dwm.NewDevice(g, p) }
+
+// DefaultParams returns representative racetrack device constants.
+func DefaultParams() Params { return dwm.DefaultParams() }
+
+// Traces and workloads.
+type (
+	// Trace is an ordered access sequence over abstract items.
+	Trace = trace.Trace
+	// Access is one trace event.
+	Access = trace.Access
+	// Workload is a named trace generator.
+	Workload = workload.Generator
+)
+
+// NewTrace returns an empty trace over n items.
+func NewTrace(name string, n int) *Trace { return trace.New(name, n) }
+
+// Workloads returns the standard benchmark suite.
+func Workloads() []Workload { return workload.Suite() }
+
+// WorkloadByName looks up one standard workload.
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// Placement and algorithms.
+type (
+	// Placement maps item → slot on one tape.
+	Placement = layout.Placement
+	// MultiPlacement maps item → (tape, slot).
+	MultiPlacement = layout.MultiPlacement
+	// Graph is the weighted access-transition graph.
+	Graph = graph.Graph
+	// Policy is a named placement strategy.
+	Policy = core.Policy
+)
+
+// AccessGraph builds the transition graph of a trace.
+func AccessGraph(t *Trace) (*Graph, error) { return graph.FromTrace(t) }
+
+// Propose runs the headline single-tape placement pipeline and returns
+// the placement and its Linear (MinLA) cost.
+func Propose(t *Trace, g *Graph) (Placement, int64, error) { return core.Propose(t, g) }
+
+// ProposeMultiTape runs the headline multi-tape pipeline.
+func ProposeMultiTape(t *Trace, tapes, tapeLen int, ports []int) (MultiPlacement, int64, error) {
+	return core.ProposeMultiTape(t, tapes, tapeLen, ports)
+}
+
+// ProgramOrder returns the first-touch baseline placement.
+func ProgramOrder(t *Trace) (Placement, error) { return core.ProgramOrder(t) }
+
+// Policies returns the standard policy set (baselines + proposed family).
+func Policies(seed int64) []Policy { return core.Policies(seed) }
+
+// ShiftCost returns the exact shift count of serving seq on one tape with
+// the given evenly numbered port positions, starting from offset zero.
+func ShiftCost(seq []int, p Placement, ports []int, tapeLen int) (int64, error) {
+	return cost.MultiPort(seq, p, ports, tapeLen)
+}
+
+// Simulation.
+type (
+	// Simulator executes traces against a device under a placement.
+	Simulator = sim.Simulator
+	// SimResult aggregates one simulation run.
+	SimResult = sim.Result
+)
+
+// NewSimulator binds a device to a multi-placement.
+func NewSimulator(dev *Device, mp MultiPlacement) (*Simulator, error) {
+	return sim.New(dev, mp, sim.HeadStay)
+}
+
+// NewSingleTapeSimulator binds a single-tape device to a placement.
+func NewSingleTapeSimulator(dev *Device, p Placement) (*Simulator, error) {
+	return sim.NewSingleTape(dev, p, sim.HeadStay)
+}
+
+// Kernel specifications and cache filtering.
+type (
+	// KernelSpec is a compiled kernel-specification program.
+	KernelSpec = spec.Program
+	// CacheStats summarizes a cache-filtering pass.
+	CacheStats = cache.Stats
+)
+
+// CompileSpec parses a kernel specification (see internal/spec for the
+// language) so it can be executed into a trace with Trace.
+func CompileSpec(src string) (*KernelSpec, error) { return spec.Parse(src) }
+
+// FilterThroughCache runs the trace through a fully associative LRU SRAM
+// buffer of the given capacity and returns the DWM-visible miss and
+// write-back stream.
+func FilterThroughCache(t *Trace, capacity int) (*Trace, CacheStats, error) {
+	return cache.Filter(t, capacity, cache.LRU)
+}

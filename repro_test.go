@@ -1,0 +1,134 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestFacadeEndToEnd drives the whole system through the public facade
+// only, the way a downstream user would.
+func TestFacadeEndToEnd(t *testing.T) {
+	wl, err := repro.WorkloadByName("fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := wl.Make(1)
+
+	g, err := repro.AccessGraph(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proposed, linCost, err := repro.Propose(tr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := repro.ProgramOrder(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	geom := repro.Geometry{Tapes: 1, DomainsPerTape: tr.NumItems, PortsPerTape: 1}
+	run := func(p repro.Placement) repro.SimResult {
+		dev, err := repro.NewDevice(geom, repro.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := repro.NewSingleTapeSimulator(dev, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	propRes := run(proposed)
+	baseRes := run(baseline)
+	if propRes.Counters.Shifts >= baseRes.Counters.Shifts {
+		t.Errorf("proposed %d shifts not better than baseline %d",
+			propRes.Counters.Shifts, baseRes.Counters.Shifts)
+	}
+	if linCost <= 0 {
+		t.Errorf("suspicious linear cost %d", linCost)
+	}
+
+	// Analytic cost through the facade agrees with the simulator.
+	ports := geom.PortPositions()
+	want, err := repro.ShiftCost(tr.Items(), proposed, ports, tr.NumItems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != propRes.Counters.Shifts {
+		t.Errorf("facade ShiftCost %d != simulated %d", want, propRes.Counters.Shifts)
+	}
+}
+
+func TestFacadeMultiTape(t *testing.T) {
+	wl, err := repro.WorkloadByName("matmul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := wl.Make(1)
+	tapes, tapeLen := 4, 27
+	geom := repro.Geometry{Tapes: tapes, DomainsPerTape: tapeLen, PortsPerTape: 1}
+	mp, shifts, err := repro.ProposeMultiTape(tr, tapes, tapeLen, geom.PortPositions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := repro.NewDevice(geom, repro.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := repro.NewSimulator(dev, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Shifts != shifts {
+		t.Errorf("simulated %d != reported %d", res.Counters.Shifts, shifts)
+	}
+}
+
+func TestFacadePoliciesAndWorkloads(t *testing.T) {
+	if len(repro.Workloads()) != 15 {
+		t.Errorf("expected 15 workloads, got %d", len(repro.Workloads()))
+	}
+	if len(repro.Policies(1)) != 9 {
+		t.Errorf("expected 9 policies, got %d", len(repro.Policies(1)))
+	}
+	tr := repro.NewTrace("mini", 2)
+	tr.Read(0)
+	tr.Write(1)
+	if tr.Len() != 2 {
+		t.Errorf("facade trace len = %d", tr.Len())
+	}
+}
+
+func TestFacadeSpecAndCache(t *testing.T) {
+	prog, err := repro.CompileSpec("array a 4\nloop i 0 8 { read a[i%4] }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := prog.Trace("facade spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 8 || tr.NumItems != 4 {
+		t.Errorf("spec trace: len=%d items=%d", tr.Len(), tr.NumItems)
+	}
+	filtered, st, err := repro.FilterThroughCache(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 4 || st.Misses != 4 {
+		t.Errorf("cache stats %+v", st)
+	}
+	if filtered.Len() != 4 { // 4 cold read misses, nothing dirty
+		t.Errorf("filtered len %d", filtered.Len())
+	}
+}
