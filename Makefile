@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench-report ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the heaviest experiment benchmark: catches
+# regressions that only show up under the full pipeline without paying
+# for a statistically meaningful run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkE2MainComparison$$' -benchtime 1x .
+
+# Refresh BENCH_dwmbench.json (per-experiment wall times with deltas vs
+# the committed report).
+bench-report:
+	$(GO) run ./cmd/dwmbench -seed 1 -json BENCH_dwmbench.json > /dev/null
+
+ci: vet build race bench-smoke

@@ -3,16 +3,24 @@
 //
 // Usage:
 //
-//	dwmbench [-seed N] [-csv] [-only E2,E5]
+//	dwmbench [-seed N] [-csv] [-only E2,E5] [-workers N] [-json FILE]
+//
+// Experiments execute on a worker pool of -workers goroutines (default
+// GOMAXPROCS; 1 forces sequential). Output is byte-identical for every
+// worker count — only E8's wall-clock column is timing-sensitive.
+// -json writes a machine-readable BENCH report with per-experiment wall
+// times and, when the file already exists, ns deltas against the
+// previous run.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
-	"sync"
 
 	"repro/internal/bench"
 )
@@ -22,16 +30,35 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	md := flag.Bool("md", false, "emit GitHub-flavored markdown instead of aligned tables")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
-	parallel := flag.Bool("parallel", false, "run experiments concurrently (E8 wall-clock timings get noisier)")
+	workers := flag.Int("workers", 0, "worker-pool size for experiments (0 = GOMAXPROCS, 1 = sequential)")
+	jsonPath := flag.String("json", "", "write a machine-readable benchmark report to this file")
 	flag.Parse()
 
-	if err := run(*seed, *csv, *md, *parallel, *only); err != nil {
+	if err := run(*seed, *csv, *md, *workers, *only, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "dwmbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, csv, md, parallel bool, only string) error {
+// benchReport is the schema of the -json report (BENCH_dwmbench.json).
+type benchReport struct {
+	Seed        int64       `json:"seed"`
+	Workers     int         `json:"workers"`
+	TotalNS     int64       `json:"total_ns"`
+	Experiments []expReport `json:"experiments"`
+}
+
+type expReport struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	WallNS int64  `json:"wall_ns"`
+	// DeltaPct is the percent change in wall time vs the same experiment
+	// in the report previously stored at the -json path (negative =
+	// faster); omitted when there is no prior sample.
+	DeltaPct *float64 `json:"delta_pct,omitempty"`
+}
+
+func run(seed int64, csv, md bool, workers int, only, jsonPath string) error {
 	want := map[string]bool{}
 	if only != "" {
 		for _, id := range strings.Split(only, ",") {
@@ -49,57 +76,68 @@ func run(seed int64, csv, md, parallel bool, only string) error {
 		return fmt.Errorf("no experiments matched %q", only)
 	}
 
-	cfg := bench.Config{Seed: seed}
-	render := func(tbl *bench.Table, w *bytes.Buffer) error {
-		switch {
-		case csv:
-			if err := tbl.CSV(w); err != nil {
-				return err
+	// Prior report (if any) for wall-time deltas, loaded before the run
+	// so a failed run never clobbers it.
+	prior := map[string]int64{}
+	if jsonPath != "" {
+		if raw, err := os.ReadFile(jsonPath); err == nil {
+			var old benchReport
+			if json.Unmarshal(raw, &old) == nil {
+				for _, e := range old.Experiments {
+					prior[e.ID] = e.WallNS
+				}
 			}
-			fmt.Fprintln(w)
-			return nil
-		case md:
-			return tbl.Markdown(w)
-		default:
-			return tbl.Format(w)
 		}
 	}
 
-	outputs := make([]bytes.Buffer, len(selected))
-	errs := make([]error, len(selected))
-	if parallel {
-		var wg sync.WaitGroup
-		for i, e := range selected {
-			wg.Add(1)
-			go func(i int, e bench.Experiment) {
-				defer wg.Done()
-				tbl, err := e.Run(cfg)
-				if err != nil {
-					errs[i] = fmt.Errorf("%s: %w", e.ID, err)
-					return
-				}
-				errs[i] = render(tbl, &outputs[i])
-			}(i, e)
-		}
-		wg.Wait()
-	} else {
-		for i, e := range selected {
-			tbl, err := e.Run(cfg)
-			if err != nil {
-				return fmt.Errorf("%s: %w", e.ID, err)
+	cfg := bench.Config{Seed: seed, Workers: workers}
+	results, err := bench.RunParallel(cfg, selected...)
+	if err != nil {
+		return err
+	}
+
+	var out bytes.Buffer
+	for _, r := range results {
+		switch {
+		case csv:
+			if err := r.Table.CSV(&out); err != nil {
+				return err
 			}
-			if err := render(tbl, &outputs[i]); err != nil {
+			fmt.Fprintln(&out)
+		case md:
+			if err := r.Table.Markdown(&out); err != nil {
+				return err
+			}
+		default:
+			if err := r.Table.Format(&out); err != nil {
 				return err
 			}
 		}
 	}
-	for i := range selected {
-		if errs[i] != nil {
-			return errs[i]
-		}
-		if _, err := outputs[i].WriteTo(os.Stdout); err != nil {
-			return err
-		}
+	if _, err := out.WriteTo(os.Stdout); err != nil {
+		return err
 	}
-	return nil
+
+	if jsonPath == "" {
+		return nil
+	}
+	effWorkers := workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	rep := benchReport{Seed: seed, Workers: effWorkers}
+	for _, r := range results {
+		er := expReport{ID: r.ID, Name: r.Name, WallNS: r.Elapsed.Nanoseconds()}
+		if old, ok := prior[r.ID]; ok && old > 0 {
+			d := 100 * float64(er.WallNS-old) / float64(old)
+			er.DeltaPct = &d
+		}
+		rep.TotalNS += er.WallNS
+		rep.Experiments = append(rep.Experiments, er)
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(raw, '\n'), 0o644)
 }

@@ -1,30 +1,74 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunOnlyFastExperiments(t *testing.T) {
-	if err := run(1, false, false, false, "E1"); err != nil {
+	if err := run(1, false, false, 1, "E1", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(1, true, false, false, "e1,E5"); err != nil {
+	if err := run(1, true, false, 1, "e1,E5", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMarkdown(t *testing.T) {
-	if err := run(1, false, true, false, "E1"); err != nil {
+	if err := run(1, false, true, 1, "E1", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestRunParallel(t *testing.T) {
-	if err := run(1, false, false, true, "E1,E5,E19"); err != nil {
+func TestRunWorkers(t *testing.T) {
+	if err := run(1, false, false, 4, "E1,E5,E19", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunNoMatch(t *testing.T) {
-	if err := run(1, false, false, false, "E99"); err == nil {
+	if err := run(1, false, false, 1, "E99", ""); err == nil {
 		t.Error("unknown experiment ID accepted")
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(1, false, false, 1, "E1,E5", path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Experiments) != 2 || rep.Experiments[0].ID != "E1" {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if rep.Experiments[0].DeltaPct != nil {
+		t.Error("first run must not report a delta")
+	}
+
+	// Second run against the stored report yields per-experiment deltas.
+	if err := run(1, false, false, 1, "E1,E5", path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep2 benchReport
+	if err := json.Unmarshal(raw, &rep2); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rep2.Experiments {
+		if e.DeltaPct == nil {
+			t.Errorf("%s: missing delta on second run", e.ID)
+		}
 	}
 }

@@ -19,6 +19,11 @@ type Config struct {
 	// Seed drives every randomized component (workload generation,
 	// randomized policies). Equal seeds reproduce identical tables.
 	Seed int64
+	// Workers bounds the concurrency of RunParallel and of the
+	// row-parallel experiments; 0 selects runtime.GOMAXPROCS(0). Every
+	// row job is an independent pure function of (Seed, row), so the
+	// produced tables are byte-identical for every worker count.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used for EXPERIMENTS.md.
@@ -130,7 +135,11 @@ func E2MainComparison(cfg Config) (*Table, error) {
 			"tape length = #items, single centered port, head stays where it parks",
 		},
 	}
-	for _, g := range workload.Suite() {
+	// Each row is an independent pure function of (cfg.Seed, workload),
+	// so the rows compute on the worker pool and assemble in suite order.
+	suite := workload.Suite()
+	rows, err := parMap(cfg.workers(), len(suite), func(i int) ([]string, error) {
+		g := suite[i]
 		tr := g.Make(cfg.Seed)
 		gr, err := graph.FromTrace(tr)
 		if err != nil {
@@ -157,8 +166,12 @@ func E2MainComparison(cfg Config) (*Table, error) {
 			}
 		}
 		row = append(row, pct(programShifts, bestProposed))
-		t.Rows = append(t.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -425,7 +438,12 @@ func E7MultiTape(cfg Config) (*Table, error) {
 			"portfolio = proposed pick-best over {contiguous, roundrobin, affinity, packed} scored by the exact evaluator",
 		},
 	}
-	for _, name := range []string{"matmul", "stencil", "histogram"} {
+	// One worker-pool job per workload, each producing its block of rows;
+	// blocks flatten in workload order, so the table is identical for any
+	// worker count.
+	names := []string{"matmul", "stencil", "histogram"}
+	blocks, err := parMap(cfg.workers(), len(names), func(i int) ([][]string, error) {
+		name := names[i]
 		g, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
@@ -435,6 +453,7 @@ func E7MultiTape(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		var rows [][]string
 		for _, tapes := range []int{2, 4, 8} {
 			tapeLen := (tr.NumItems + tapes - 1) / tapes
 			if tapeLen < 2 {
@@ -481,11 +500,18 @@ func E7MultiTape(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.Rows = append(t.Rows, []string{
+			rows = append(rows, []string{
 				name, itoa(int64(tapes)),
 				itoa(cCost), itoa(rrCost), itoa(hCost), itoa(aCost), itoa(pCost), pct(cCost, pCost),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range blocks {
+		t.Rows = append(t.Rows, b...)
 	}
 	return t, nil
 }

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RunResult is one executed experiment with its wall time, the unit the
+// perf-trajectory report (BENCH_dwmbench.json) records.
+type RunResult struct {
+	// ID and Name identify the experiment.
+	ID, Name string
+	// Table is the experiment output.
+	Table *Table
+	// Elapsed is the wall time of the Run call.
+	Elapsed time.Duration
+}
+
+// workers resolves the effective worker count.
+func (cfg Config) workers() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// DeriveSeed maps (seed, expID, row) to an independent per-row RNG seed:
+// seed ^ FNV-1a(expID, row), finalized with a splitmix64 mix so nearby
+// rows land in unrelated streams. Experiments whose rows need their own
+// randomness derive it through this function instead of sharing one
+// sequential RNG, which is what makes row-parallel execution produce
+// byte-identical tables for every worker count.
+func DeriveSeed(seed int64, expID string, row int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(expID))
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(row >> (8 * i))
+	}
+	h.Write(buf[:])
+	z := uint64(seed) ^ h.Sum64()
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// parMap runs n independent jobs on at most `workers` goroutines and
+// returns their results in input order. Errors are reported
+// deterministically: the error of the lowest-indexed failing job wins,
+// regardless of completion order. With workers <= 1 the jobs run
+// sequentially on the calling goroutine.
+func parMap[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = job(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					results[i], errs[i] = job(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// RunParallel executes the experiments on a worker pool of cfg.Workers
+// goroutines (default GOMAXPROCS) and returns the results in the order
+// the experiments were given. Each experiment is a pure function of the
+// Config, and the row-parallel experiments derive any per-row randomness
+// from DeriveSeed, so the returned tables are byte-identical for every
+// worker count — including the sequential Workers=1 run.
+func RunParallel(cfg Config, exps ...Experiment) ([]RunResult, error) {
+	return parMap(cfg.workers(), len(exps), func(i int) (RunResult, error) {
+		e := exps[i]
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		return RunResult{ID: e.ID, Name: e.Name, Table: tbl, Elapsed: time.Since(start)}, nil
+	})
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// ISSUE acceptance: parallel execution must be byte-identical to
+// sequential. Render the full table text for E2 and E7 under Workers=1
+// and Workers=8 and require equality.
+func TestRunParallelDeterministic(t *testing.T) {
+	exps := []Experiment{
+		{"E2", "main comparison", E2MainComparison},
+		{"E7", "multi-tape partitioning", E7MultiTape},
+	}
+	seq, err := RunParallel(Config{Seed: 1, Workers: 1}, exps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(Config{Seed: 1, Workers: 8}, exps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("result count mismatch: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].ID != par[i].ID {
+			t.Fatalf("result %d: order changed: %s vs %s", i, seq[i].ID, par[i].ID)
+		}
+		var ab, bb strings.Builder
+		if err := seq[i].Table.Format(&ab); err != nil {
+			t.Fatal(err)
+		}
+		if err := par[i].Table.Format(&bb); err != nil {
+			t.Fatal(err)
+		}
+		a, b := ab.String(), bb.String()
+		if a != b {
+			t.Errorf("%s: Workers=1 and Workers=8 tables differ:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				seq[i].ID, a, b)
+		}
+	}
+}
+
+func TestParMapOrderAndErrors(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		got, err := parMap(workers, 10, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+
+	// The lowest-indexed failure must win regardless of scheduling.
+	boom3 := errors.New("boom 3")
+	_, err := parMap(8, 10, func(i int) (int, error) {
+		if i >= 3 {
+			return 0, fmt.Errorf("boom %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != boom3.Error() {
+		t.Fatalf("want lowest-index error %q, got %v", boom3, err)
+	}
+
+	if got, err := parMap(4, 0, func(i int) (int, error) { return 0, nil }); err != nil || len(got) != 0 {
+		t.Fatalf("empty job list: got %v, %v", got, err)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	seen := map[int64]bool{}
+	for row := 0; row < 100; row++ {
+		s := DeriveSeed(1, "E2", row)
+		if seen[s] {
+			t.Fatalf("seed collision at row %d", row)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(1, "E2", 5) != DeriveSeed(1, "E2", 5) {
+		t.Error("DeriveSeed not stable")
+	}
+	if DeriveSeed(1, "E2", 5) == DeriveSeed(1, "E7", 5) {
+		t.Error("DeriveSeed ignores the experiment ID")
+	}
+	if DeriveSeed(1, "E2", 5) == DeriveSeed(2, "E2", 5) {
+		t.Error("DeriveSeed ignores the base seed")
+	}
+}
+
+func TestConfigWorkersDefault(t *testing.T) {
+	if w := (Config{}).workers(); w < 1 {
+		t.Fatalf("default workers = %d, want >= 1", w)
+	}
+	if w := (Config{Workers: 3}).workers(); w != 3 {
+		t.Fatalf("explicit workers = %d, want 3", w)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/cost"
 	"repro/internal/graph"
@@ -12,10 +13,12 @@ import (
 
 // AnnealOptions tunes simulated annealing.
 type AnnealOptions struct {
-	// Seed drives the move and acceptance randomness.
+	// Seed drives the move and acceptance randomness. With Restarts > 1
+	// it also derives the per-restart seeds, so a given (Seed, Restarts)
+	// pair is fully reproducible regardless of scheduling.
 	Seed int64
-	// Iterations is the total number of proposed swaps; 0 selects
-	// 2000·n, which converges on all the evaluation workloads.
+	// Iterations is the total number of proposed swaps per chain; 0
+	// selects 2000·n, which converges on all the evaluation workloads.
 	Iterations int
 	// InitialTemp is the starting temperature; 0 selects it
 	// automatically from the mean |delta| of a random-move sample.
@@ -23,17 +26,77 @@ type AnnealOptions struct {
 	// Cooling is the geometric cooling factor applied every n proposals;
 	// 0 selects 0.97.
 	Cooling float64
+	// Restarts runs that many independent annealing chains concurrently
+	// and keeps the best result, chosen deterministically by (cost,
+	// restart index). Chain 0 uses Seed unchanged — so Restarts ≤ 1 is
+	// byte-identical to a single plain run — and chain i > 0 anneals
+	// with a seed derived from (Seed, i).
+	Restarts int
 }
 
 // Anneal refines a placement by simulated annealing over item swaps under
 // the Linear objective. It returns the best placement visited and its
 // cost. The input placement is not mutated.
 func Anneal(g *graph.Graph, p layout.Placement, opts AnnealOptions) (layout.Placement, int64, error) {
-	ev, err := cost.NewEvaluator(g, p)
+	c := g.Freeze()
+	if opts.Restarts <= 1 {
+		return annealChain(c, p, opts)
+	}
+	type outcome struct {
+		p   layout.Placement
+		c   int64
+		err error
+	}
+	results := make([]outcome, opts.Restarts)
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Restarts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			chainOpts := opts
+			chainOpts.Restarts = 0
+			if i > 0 {
+				chainOpts.Seed = deriveSeed(opts.Seed, i)
+			}
+			p, c, err := annealChain(c, p, chainOpts)
+			results[i] = outcome{p: p, c: c, err: err}
+		}(i)
+	}
+	wg.Wait()
+	var best layout.Placement
+	var bestCost int64
+	for i, r := range results {
+		if r.err != nil {
+			return nil, 0, r.err
+		}
+		if i == 0 || r.c < bestCost {
+			best, bestCost = r.p, r.c
+		}
+	}
+	return best, bestCost, nil
+}
+
+// deriveSeed maps (seed, index) to an independent chain seed with a
+// splitmix64 finalizer, the same scheme the bench harness uses for
+// per-row seeds: statistically independent streams, stable across runs
+// and scheduling orders.
+func deriveSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// annealChain is one simulated-annealing run over the frozen graph.
+func annealChain(c *graph.CSR, p layout.Placement, opts AnnealOptions) (layout.Placement, int64, error) {
+	ev, err := cost.NewEvaluatorCSR(c, p)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: Anneal: %w", err)
 	}
-	n := g.N()
+	n := c.N()
 	if n < 2 {
 		return ev.Placement(), ev.Cost(), nil
 	}

@@ -23,13 +23,14 @@ func Barycentric(g *graph.Graph, p layout.Placement, iterations int) (layout.Pla
 	if err := p.Validate(g.N()); err != nil {
 		return nil, 0, fmt.Errorf("core: Barycentric: %w", err)
 	}
-	n := g.N()
+	c := g.Freeze()
+	n := c.N()
 	if iterations <= 0 {
 		iterations = 20
 	}
 	cur := p.Clone()
 	best := cur.Clone()
-	bestCost, err := cost.Linear(g, cur)
+	bestCost, err := cost.LinearCSR(c, cur)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -39,12 +40,11 @@ func Barycentric(g *graph.Graph, p layout.Placement, iterations int) (layout.Pla
 	for it := 0; it < iterations; it++ {
 		for v := 0; v < n; v++ {
 			var sum float64
-			var wsum int64
-			g.Neighbors(v, func(u int, w int64) {
-				sum += float64(w) * float64(cur[u])
-				wsum += w
-			})
-			if wsum == 0 {
+			cols, ws := c.Row(v)
+			for i, u := range cols {
+				sum += float64(ws[i]) * float64(cur[u])
+			}
+			if wsum := c.WeightedDegree(v); wsum == 0 {
 				coord[v] = float64(cur[v]) // isolated: stay put
 			} else {
 				coord[v] = sum / float64(wsum)
@@ -62,12 +62,12 @@ func Barycentric(g *graph.Graph, p layout.Placement, iterations int) (layout.Pla
 		for s, v := range rank {
 			cur[v] = s
 		}
-		c, err := cost.Linear(g, cur)
+		cc, err := cost.LinearCSR(c, cur)
 		if err != nil {
 			return nil, 0, err
 		}
-		if c < bestCost {
-			bestCost = c
+		if cc < bestCost {
+			bestCost = cc
 			copy(best, cur)
 		}
 	}

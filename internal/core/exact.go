@@ -31,18 +31,22 @@ func ExactDP(g *graph.Graph) (layout.Placement, int64, error) {
 	}
 	size := 1 << uint(n)
 
-	// deg[v] = weighted degree; wAdj[v] = packed neighbor list.
+	// deg[v] = weighted degree; adj[v] = packed neighbor list, both read
+	// straight off the frozen CSR rows.
 	type arc struct {
 		to int
 		w  int64
 	}
+	c := g.Freeze()
 	adj := make([][]arc, n)
-	var degW = make([]int64, n)
+	degW := make([]int64, n)
 	for v := 0; v < n; v++ {
-		g.Neighbors(v, func(u int, w int64) {
-			adj[v] = append(adj[v], arc{u, w})
-			degW[v] += w
-		})
+		cols, ws := c.Row(v)
+		adj[v] = make([]arc, len(cols))
+		for i, u := range cols {
+			adj[v][i] = arc{int(u), ws[i]}
+		}
+		degW[v] = c.WeightedDegree(v)
 	}
 
 	// cut[S] built incrementally by removing the lowest set bit:
@@ -121,15 +125,18 @@ func ExactBB(g *graph.Graph) (layout.Placement, int64, error) {
 		to int
 		w  int64
 	}
+	c := g.Freeze()
 	adj := make([][]arc, n)
 	var unplacedW int64
 	for v := 0; v < n; v++ {
-		g.Neighbors(v, func(u int, w int64) {
-			adj[v] = append(adj[v], arc{u, w})
-			if v < u {
-				unplacedW += w
+		cols, ws := c.Row(v)
+		adj[v] = make([]arc, len(cols))
+		for i, u := range cols {
+			adj[v][i] = arc{int(u), ws[i]}
+			if v < int(u) {
+				unplacedW += ws[i]
 			}
-		})
+		}
 	}
 
 	pos := make([]int, n)

@@ -31,7 +31,8 @@ const (
 // Complexity is O(E log E) for the edge sort plus near-linear chain
 // bookkeeping, so it scales to thousands of items.
 func GreedyChain(g *graph.Graph, seed GreedySeed) (layout.Placement, error) {
-	n := g.N()
+	c := g.Freeze()
+	n := c.N()
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty graph")
 	}
@@ -57,7 +58,7 @@ func GreedyChain(g *graph.Graph, seed GreedySeed) (layout.Placement, error) {
 
 	isEndpoint := func(v int) bool { return next[v] == -1 || prev[v] == -1 }
 
-	for _, e := range g.Edges() {
+	for _, e := range c.Edges() {
 		ru, rv := find(e.U), find(e.V)
 		if ru == rv || !isEndpoint(e.U) || !isEndpoint(e.V) {
 			continue
@@ -86,15 +87,15 @@ func GreedyChain(g *graph.Graph, seed GreedySeed) (layout.Placement, error) {
 		if prev[v] != -1 {
 			continue
 		}
-		var c chain
+		var ch chain
 		for x := v; x != -1; x = next[x] {
-			c.items = append(c.items, x)
-			if wd := g.WeightedDegree(x); wd > c.seedW {
-				c.seedW = wd
+			ch.items = append(ch.items, x)
+			if wd := c.WeightedDegree(x); wd > ch.seedW {
+				ch.seedW = wd
 			}
 		}
-		c.weight = chainWeight[find(v)]
-		chains = append(chains, c)
+		ch.weight = chainWeight[find(v)]
+		chains = append(chains, ch)
 	}
 	sort.SliceStable(chains, func(i, j int) bool {
 		a, b := chains[i], chains[j]

@@ -78,7 +78,8 @@ func Insertion(g *graph.Graph, p layout.Placement, maxPasses int) (layout.Placem
 	if err := p.Validate(g.N()); err != nil {
 		return nil, 0, fmt.Errorf("core: Insertion: %w", err)
 	}
-	n := g.N()
+	c := g.Freeze()
+	n := c.N()
 	if maxPasses <= 0 {
 		maxPasses = 10
 	}
@@ -87,7 +88,7 @@ func Insertion(g *graph.Graph, p layout.Placement, maxPasses int) (layout.Placem
 	if err != nil {
 		return nil, 0, err
 	}
-	curCost, err := cost.Linear(g, cur)
+	curCost, err := cost.LinearCSR(c, cur)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -111,7 +112,7 @@ func Insertion(g *graph.Graph, p layout.Placement, maxPasses int) (layout.Placem
 			from := cur[item]
 			// Candidate targets: beside each neighbor's current slot.
 			var cands []int
-			g.Neighbors(item, func(v int, _ int64) {
+			c.Neighbors(item, func(v int, _ int64) {
 				for _, d := range []int{-1, 0, 1} {
 					if to := cur[v] + d; to >= 0 && to < n && to != from {
 						cands = append(cands, to)
@@ -121,12 +122,12 @@ func Insertion(g *graph.Graph, p layout.Placement, maxPasses int) (layout.Placem
 			bestTo, bestCost := -1, curCost
 			for _, to := range cands {
 				apply(from, to)
-				c, err := cost.Linear(g, cur)
+				cc, err := cost.LinearCSR(c, cur)
 				if err != nil {
 					return nil, 0, err
 				}
-				if c < bestCost {
-					bestTo, bestCost = to, c
+				if cc < bestCost {
+					bestTo, bestCost = to, cc
 				}
 				apply(to, from) // undo
 			}

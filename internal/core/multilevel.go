@@ -39,6 +39,7 @@ func multilevel(g *graph.Graph, base, window int) (layout.Placement, int64, erro
 	if n <= base {
 		return GreedyTwoOpt(g, TwoOptOptions{})
 	}
+	c := g.Freeze()
 
 	// Heaviest-edge matching.
 	matched := make([]int, n) // partner, -1 if unmatched
@@ -46,7 +47,7 @@ func multilevel(g *graph.Graph, base, window int) (layout.Placement, int64, erro
 		matched[i] = -1
 	}
 	pairs := 0
-	for _, e := range g.Edges() {
+	for _, e := range c.Edges() {
 		if matched[e.U] == -1 && matched[e.V] == -1 {
 			matched[e.U], matched[e.V] = e.V, e.U
 			pairs++
@@ -81,7 +82,7 @@ func multilevel(g *graph.Graph, base, window int) (layout.Placement, int64, erro
 	if err != nil {
 		return nil, 0, err
 	}
-	g.EachEdge(func(u, v int, w int64) {
+	c.EachEdge(func(u, v int, w int64) {
 		cu, cv := coarseID[u], coarseID[v]
 		if cu != cv {
 			cg.AddWeight(cu, cv, w)
@@ -110,7 +111,7 @@ func multilevel(g *graph.Graph, base, window int) (layout.Placement, int64, erro
 		a, b := m[0], m[1]
 		if len(order) > 0 {
 			last := order[len(order)-1]
-			if g.Weight(last, b) > g.Weight(last, a) {
+			if c.Weight(last, b) > c.Weight(last, a) {
 				a, b = b, a
 			}
 		}

@@ -30,6 +30,7 @@ func WindowDP(g *graph.Graph, p layout.Placement, opts WindowDPOptions) (layout.
 	if err := p.Validate(n); err != nil {
 		return nil, 0, fmt.Errorf("core: WindowDP: %w", err)
 	}
+	csr := g.Freeze()
 	w := opts.Window
 	if w == 0 {
 		w = 6
@@ -83,12 +84,14 @@ func WindowDP(g *graph.Graph, p layout.Placement, opts WindowDPOptions) (layout.
 				for j := range bc[k] {
 					bc[k][j] = 0
 				}
-				g.Neighbors(it, func(u int, wgt int64) {
+				cols, ws := csr.Row(it)
+				for ci, u32 := range cols {
+					u, wgt := int(u32), ws[ci]
 					if x := inWindow[u]; x > 0 {
 						if k < x-1 {
 							internal = append(internal, iedge{a: k, b: x - 1, w: wgt})
 						}
-						return
+						continue
 					}
 					for j := 0; j < w; j++ {
 						du := lo + j - cur[u]
@@ -97,7 +100,7 @@ func WindowDP(g *graph.Graph, p layout.Placement, opts WindowDPOptions) (layout.
 						}
 						bc[k][j] += wgt * int64(du)
 					}
-				})
+				}
 			}
 			score := func() int64 {
 				var c int64

@@ -1,0 +1,68 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/layout"
+)
+
+// benchGraph builds a Zipf-ish random transition graph without importing
+// the workload package (cost sits below it in the dependency order).
+func benchGraph(b *testing.B, n, edges int) *graph.Graph {
+	b.Helper()
+	g, err := graph.New(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < edges; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddWeight(u, v, int64(rng.Intn(16)+1))
+		}
+	}
+	return g
+}
+
+func BenchmarkSwapDelta(b *testing.B) {
+	g := benchGraph(b, 1024, 1<<15)
+	ev, err := NewEvaluator(g, layout.Identity(g.N()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.N()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += ev.SwapDelta(i%n, (i*7+3)%n)
+	}
+	_ = sink
+}
+
+func BenchmarkNewEvaluator(b *testing.B) {
+	g := benchGraph(b, 1024, 1<<15)
+	p := layout.Identity(g.N())
+	g.Freeze() // construction cost without the one-time freeze
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewEvaluator(g, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinear(b *testing.B) {
+	g := benchGraph(b, 1024, 1<<15)
+	p := layout.Identity(g.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Linear(g, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

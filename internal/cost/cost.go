@@ -25,16 +25,28 @@ import (
 )
 
 // Linear returns the MinLA objective of a placement on the access
-// transition graph: Σ over edges w(u,v) * |pos(u)-pos(v)|.
+// transition graph: Σ over edges w(u,v) * |pos(u)-pos(v)|. It evaluates
+// on the graph's frozen CSR view (cached between mutations), so repeated
+// scoring of the same graph — the pattern of every refinement loop — runs
+// over flat arrays.
 func Linear(g *graph.Graph, p layout.Placement) (int64, error) {
-	if len(p) != g.N() {
-		return 0, fmt.Errorf("cost: placement covers %d items, graph has %d", len(p), g.N())
+	return LinearCSR(g.Freeze(), p)
+}
+
+// LinearCSR is Linear on an already-frozen graph.
+func LinearCSR(c *graph.CSR, p layout.Placement) (int64, error) {
+	if len(p) != c.N() {
+		return 0, fmt.Errorf("cost: placement covers %d items, graph has %d", len(p), c.N())
 	}
 	var total int64
-	g.EachEdge(func(u, v int, w int64) {
-		total += w * int64(abs(p[u]-p[v]))
-	})
-	return total, nil
+	for u := 0; u < c.N(); u++ {
+		pu := p[u]
+		cols, ws := c.Row(u)
+		for i, v := range cols {
+			total += ws[i] * int64(abs(pu-p[v]))
+		}
+	}
+	return total / 2, nil // every edge counted from both endpoints
 }
 
 // SinglePort returns the exact shift count of serving seq on a single

@@ -8,39 +8,42 @@ import (
 )
 
 // Evaluator maintains a placement and its Linear cost, supporting O(deg)
-// evaluation and application of item swaps and item moves. Local search
-// and simulated annealing run millions of delta evaluations, so this type
-// avoids the O(E) full re-scan per move.
+// evaluation and application of item swaps. Local search and simulated
+// annealing run millions of delta evaluations, so the evaluator iterates
+// the graph's frozen CSR rows — flat, cache-friendly slices — instead of
+// per-vertex maps, and its construction is a single pass over the CSR
+// with no sorting or per-vertex allocation.
 type Evaluator struct {
-	g   *graph.Graph
-	adj [][]arc // adjacency snapshot for allocation-free deltas
+	csr *graph.CSR
+	g   *graph.Graph // live graph when known, for Verify; nil if CSR-built
 	pos layout.Placement
 	cur int64
 }
 
-type arc struct {
-	to int
-	w  int64
-}
-
 // NewEvaluator builds an evaluator for a placement that must be a
-// permutation of [0, g.N()). The graph's adjacency is snapshotted at
-// construction; edits to the graph afterwards are not observed.
+// permutation of [0, g.N()). The graph is frozen at construction (reusing
+// the graph's cached CSR when available); edits to the graph afterwards
+// are not observed.
 func NewEvaluator(g *graph.Graph, p layout.Placement) (*Evaluator, error) {
-	if err := p.Validate(g.N()); err != nil {
-		return nil, err
-	}
-	c, err := Linear(g, p)
+	e, err := NewEvaluatorCSR(g.Freeze(), p)
 	if err != nil {
 		return nil, err
 	}
-	adj := make([][]arc, g.N())
-	for v := range adj {
-		g.Neighbors(v, func(u int, w int64) {
-			adj[v] = append(adj[v], arc{u, w})
-		})
+	e.g = g
+	return e, nil
+}
+
+// NewEvaluatorCSR builds an evaluator directly on a frozen CSR view,
+// sharing it with any other consumers (the CSR is immutable).
+func NewEvaluatorCSR(c *graph.CSR, p layout.Placement) (*Evaluator, error) {
+	if err := p.Validate(c.N()); err != nil {
+		return nil, err
 	}
-	return &Evaluator{g: g, adj: adj, pos: p.Clone(), cur: c}, nil
+	cost, err := LinearCSR(c, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluator{csr: c, pos: p.Clone(), cur: cost}, nil
 }
 
 // Cost returns the current Linear cost.
@@ -57,17 +60,19 @@ func (e *Evaluator) SwapDelta(u, v int) int64 {
 	}
 	pu, pv := e.pos[u], e.pos[v]
 	var delta int64
-	for _, a := range e.adj[u] {
-		if a.to == v {
+	cols, ws := e.csr.Row(u)
+	for i, to := range cols {
+		if int(to) == v {
 			continue // |pu-pv| unchanged under swap
 		}
-		delta += a.w * int64(abs(pv-e.pos[a.to])-abs(pu-e.pos[a.to]))
+		delta += ws[i] * int64(abs(pv-e.pos[to])-abs(pu-e.pos[to]))
 	}
-	for _, a := range e.adj[v] {
-		if a.to == u {
+	cols, ws = e.csr.Row(v)
+	for i, to := range cols {
+		if int(to) == u {
 			continue
 		}
-		delta += a.w * int64(abs(pu-e.pos[a.to])-abs(pv-e.pos[a.to]))
+		delta += ws[i] * int64(abs(pu-e.pos[to])-abs(pv-e.pos[to]))
 	}
 	return delta
 }
@@ -81,9 +86,17 @@ func (e *Evaluator) Swap(u, v int) int64 {
 
 // Verify recomputes the cost from scratch and reports whether the
 // incremental bookkeeping agrees; it is used by tests and can guard long
-// optimization runs.
+// optimization runs. When the evaluator was built from a live graph it
+// recomputes against that graph's current state, so it also flags drift
+// caused by graph edits the frozen snapshot cannot observe.
 func (e *Evaluator) Verify() error {
-	c, err := Linear(e.g, e.pos)
+	var c int64
+	var err error
+	if e.g != nil {
+		c, err = Linear(e.g, e.pos)
+	} else {
+		c, err = LinearCSR(e.csr, e.pos)
+	}
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/trace"
 )
@@ -28,6 +29,10 @@ type Edge struct {
 type Graph struct {
 	n   int
 	adj []map[int]int64 // adj[u][v] = w, mirrored
+
+	// frozen caches the CSR view between mutations; AddWeight
+	// invalidates it. See Freeze.
+	frozen atomic.Pointer[CSR]
 }
 
 // New returns an empty graph on n vertices.
@@ -41,6 +46,11 @@ func New(n int) (*Graph, error) {
 
 // FromTrace builds the access-transition graph of a trace: one vertex per
 // item, edge weights counting consecutive accesses to distinct items.
+//
+// Transitions are pre-counted into a single packed-key map and the
+// per-vertex adjacency maps are allocated at their exact final size, so
+// large traces avoid the rehash-and-regrow churn of incremental
+// AddWeight calls.
 func FromTrace(t *trace.Trace) (*Graph, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
@@ -49,11 +59,41 @@ func FromTrace(t *trace.Trace) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	if t.NumItems >= maxCSRVertices {
+		// Packed uint64 keys need both endpoints to fit in 32 bits.
+		for i := 1; i < t.Len(); i++ {
+			u, v := t.Accesses[i-1].Item, t.Accesses[i].Item
+			if u != v {
+				g.AddWeight(u, v, 1)
+			}
+		}
+		return g, nil
+	}
+	counts := make(map[uint64]int64, t.NumItems)
 	for i := 1; i < t.Len(); i++ {
 		u, v := t.Accesses[i-1].Item, t.Accesses[i].Item
-		if u != v {
-			g.AddWeight(u, v, 1)
+		if u == v {
+			continue
 		}
+		if u > v {
+			u, v = v, u
+		}
+		counts[uint64(u)<<32|uint64(v)]++
+	}
+	deg := make([]int, t.NumItems)
+	for k := range counts {
+		deg[int(k>>32)]++
+		deg[int(uint32(k))]++
+	}
+	for u, d := range deg {
+		if d > 0 {
+			g.adj[u] = make(map[int]int64, d)
+		}
+	}
+	for k, w := range counts {
+		u, v := int(k>>32), int(uint32(k))
+		g.adj[u][v] = w
+		g.adj[v][u] = w
 	}
 	return g, nil
 }
@@ -78,6 +118,7 @@ func (g *Graph) check(u, v int) {
 // reaches zero removes the edge.
 func (g *Graph) AddWeight(u, v int, w int64) {
 	g.check(u, v)
+	g.frozen.Store(nil) // mutation invalidates the cached CSR view
 	nw := g.Weight(u, v) + w
 	if nw < 0 {
 		panic(fmt.Sprintf("graph: edge {%d,%d} weight would go negative", u, v))

@@ -58,7 +58,8 @@ type ShiftDistribution struct {
 }
 
 // distribution computes the summary from the raw per-access counts. The
-// input slice is sorted in place.
+// input slice is sorted in place — callers that reuse a scratch buffer
+// (Run does) must not rely on its order afterwards.
 func distribution(perAccess []int) ShiftDistribution {
 	if len(perAccess) == 0 {
 		return ShiftDistribution{}
@@ -81,10 +82,17 @@ func distribution(perAccess []int) ShiftDistribution {
 }
 
 // Simulator binds a device to a multi-placement.
+//
+// A Simulator is not safe for concurrent use: it owns mutable device
+// state and reuses an internal scratch buffer across Run calls.
 type Simulator struct {
 	dev *dwm.Device
 	mp  layout.MultiPlacement
 	pol HeadPolicy
+	// scratch is the per-access shift buffer reused by Run; distribution
+	// sorts it in place, which is fine because each Run truncates and
+	// refills it before reading.
+	scratch []int
 }
 
 // New builds a simulator. The placement must be valid for the device
@@ -130,7 +138,10 @@ func (s *Simulator) Run(t *trace.Trace) (Result, error) {
 	}
 	before := s.dev.Counters()
 	beforeTapes := s.dev.TapeCounters()
-	perAccess := make([]int, 0, t.Len())
+	if cap(s.scratch) < t.Len() {
+		s.scratch = make([]int, 0, t.Len())
+	}
+	perAccess := s.scratch[:0]
 	for i, a := range t.Accesses {
 		addr, err := s.Address(a.Item)
 		if err != nil {
@@ -172,6 +183,7 @@ func (s *Simulator) Run(t *trace.Trace) (Result, error) {
 	res.LatencyNS = res.Counters.LatencyNS(p)
 	res.EnergyPJ = res.Counters.EnergyPJ(p)
 	res.ShiftDist = distribution(perAccess)
+	s.scratch = perAccess
 	return res, nil
 }
 
