@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-report ci
+.PHONY: all build vet fmt-check test race bench-smoke bench-report merge-smoke ci
 
 all: ci
 
@@ -9,6 +9,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Fail if any file needs gofmt (prints the offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -27,4 +32,13 @@ bench-smoke:
 bench-report:
 	$(GO) run ./cmd/dwmbench -seed 1 -json BENCH_dwmbench.json > /dev/null
 
-ci: vet build race bench-smoke
+# Exercise the -json + -only merge path end to end: two partial runs
+# against the same temp report must leave both experiments' entries.
+merge-smoke:
+	@tmp="$$(mktemp)"; trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) run ./cmd/dwmbench -only E1 -json "$$tmp" > /dev/null && \
+	$(GO) run ./cmd/dwmbench -only E5 -json "$$tmp" > /dev/null && \
+	grep -q '"id": "E1"' "$$tmp" && grep -q '"id": "E5"' "$$tmp" || \
+	{ echo "merge-smoke: E1 entry lost after -only E5 run"; exit 1; }
+
+ci: fmt-check vet build race bench-smoke merge-smoke

@@ -3,49 +3,126 @@
 //
 // Usage:
 //
-//	dwmbench [-seed N] [-csv] [-only E2,E5] [-workers N] [-json FILE]
+//	dwmbench [-seed N] [-csv] [-md] [-only E2,E5] [-workers N] [-timeout D]
+//	         [-json FILE] [-metrics] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Experiments execute on a worker pool of -workers goroutines (default
 // GOMAXPROCS; 1 forces sequential). Output is byte-identical for every
 // worker count — only E8's wall-clock column is timing-sensitive.
+//
+// Robustness: a panic or error inside one experiment fails only that
+// experiment — the others still print and report. -timeout bounds each
+// experiment's wall time. SIGINT cancels the run gracefully: experiments
+// already finished still print, the -json report is still written for
+// them, and the process exits nonzero.
+//
 // -json writes a machine-readable BENCH report with per-experiment wall
-// times and, when the file already exists, ns deltas against the
-// previous run.
+// times, ns deltas against the previous run, and a metrics snapshot
+// (see internal/obs). When the file already exists, entries for
+// experiments not run this invocation (e.g. filtered out by -only) are
+// preserved from the prior report instead of being clobbered, so the
+// wall-time trajectory survives partial runs.
+//
+// -metrics prints the observability snapshot (simulator, annealer, CSR
+// cache, and runner instruments) to stderr after the run. -cpuprofile
+// and -memprofile write pprof profiles for the whole invocation.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
-	seed := flag.Int64("seed", 1, "seed for workloads and randomized policies")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	md := flag.Bool("md", false, "emit GitHub-flavored markdown instead of aligned tables")
-	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
-	workers := flag.Int("workers", 0, "worker-pool size for experiments (0 = GOMAXPROCS, 1 = sequential)")
-	jsonPath := flag.String("json", "", "write a machine-readable benchmark report to this file")
+	var opts options
+	flag.Int64Var(&opts.seed, "seed", 1, "seed for workloads and randomized policies")
+	flag.BoolVar(&opts.csv, "csv", false, "emit CSV instead of aligned tables")
+	flag.BoolVar(&opts.md, "md", false, "emit GitHub-flavored markdown instead of aligned tables")
+	flag.StringVar(&opts.only, "only", "", "comma-separated experiment IDs to run (default: all)")
+	flag.IntVar(&opts.workers, "workers", 0, "worker-pool size for experiments (0 = GOMAXPROCS, 1 = sequential)")
+	flag.DurationVar(&opts.timeout, "timeout", 0, "per-experiment wall-time limit (0 = none)")
+	flag.StringVar(&opts.jsonPath, "json", "", "write a machine-readable benchmark report to this file")
+	flag.BoolVar(&opts.metrics, "metrics", false, "print the observability snapshot to stderr after the run")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
-	if err := run(*seed, *csv, *md, *workers, *only, *jsonPath); err != nil {
+	// SIGINT cancels the run: in-flight experiments are abandoned,
+	// completed ones still print and land in the -json report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dwmbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dwmbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	err := run(ctx, opts)
+
+	if *memprofile != "" {
+		if f, ferr := os.Create(*memprofile); ferr == nil {
+			runtime.GC()
+			if werr := pprof.WriteHeapProfile(f); werr != nil {
+				fmt.Fprintln(os.Stderr, "dwmbench:", werr)
+			}
+			f.Close()
+		} else {
+			fmt.Fprintln(os.Stderr, "dwmbench:", ferr)
+		}
+	}
+
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dwmbench:", err)
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile() // flush before the deferred exit is skipped
+		}
 		os.Exit(1)
 	}
 }
 
+// options carries the CLI flags into run.
+type options struct {
+	seed     int64
+	csv, md  bool
+	only     string
+	workers  int
+	timeout  time.Duration
+	jsonPath string
+	metrics  bool
+}
+
 // benchReport is the schema of the -json report (BENCH_dwmbench.json).
 type benchReport struct {
-	Seed        int64       `json:"seed"`
-	Workers     int         `json:"workers"`
+	Seed    int64 `json:"seed"`
+	Workers int   `json:"workers"`
+	// TotalNS sums WallNS over every entry in the report, including
+	// entries merged from a prior run when -only filtered this one.
 	TotalNS     int64       `json:"total_ns"`
 	Experiments []expReport `json:"experiments"`
+	// Metrics is the process-wide observability snapshot at report time
+	// (simulator, annealer, CSR cache, runner; see internal/obs).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 type expReport struct {
@@ -58,10 +135,10 @@ type expReport struct {
 	DeltaPct *float64 `json:"delta_pct,omitempty"`
 }
 
-func run(seed int64, csv, md bool, workers int, only, jsonPath string) error {
+func run(ctx context.Context, opts options) error {
 	want := map[string]bool{}
-	if only != "" {
-		for _, id := range strings.Split(only, ",") {
+	if opts.only != "" {
+		for _, id := range strings.Split(opts.only, ",") {
 			want[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
@@ -73,38 +150,43 @@ func run(seed int64, csv, md bool, workers int, only, jsonPath string) error {
 		selected = append(selected, e)
 	}
 	if len(selected) == 0 {
-		return fmt.Errorf("no experiments matched %q", only)
+		return fmt.Errorf("no experiments matched %q", opts.only)
 	}
 
-	// Prior report (if any) for wall-time deltas, loaded before the run
-	// so a failed run never clobbers it.
-	prior := map[string]int64{}
-	if jsonPath != "" {
-		if raw, err := os.ReadFile(jsonPath); err == nil {
+	// Prior report (if any), loaded before the run so a failed run never
+	// clobbers it. It feeds the wall-time deltas and the merge of
+	// entries for experiments not run this invocation.
+	prior := map[string]expReport{}
+	var priorOrder []string
+	if opts.jsonPath != "" {
+		if raw, err := os.ReadFile(opts.jsonPath); err == nil {
 			var old benchReport
 			if json.Unmarshal(raw, &old) == nil {
 				for _, e := range old.Experiments {
-					prior[e.ID] = e.WallNS
+					prior[e.ID] = e
+					priorOrder = append(priorOrder, e.ID)
 				}
 			}
 		}
 	}
 
-	cfg := bench.Config{Seed: seed, Workers: workers}
-	results, err := bench.RunParallel(cfg, selected...)
-	if err != nil {
-		return err
-	}
+	cfg := bench.Config{Seed: opts.seed, Workers: opts.workers, Timeout: opts.timeout}
+	results, runErr := bench.RunContext(ctx, cfg, selected...)
 
+	// Print every completed table, even when a sibling failed or the
+	// run was interrupted.
 	var out bytes.Buffer
 	for _, r := range results {
+		if r.Table == nil {
+			continue
+		}
 		switch {
-		case csv:
+		case opts.csv:
 			if err := r.Table.CSV(&out); err != nil {
 				return err
 			}
 			fmt.Fprintln(&out)
-		case md:
+		case opts.md:
 			if err := r.Table.Markdown(&out); err != nil {
 				return err
 			}
@@ -118,26 +200,67 @@ func run(seed int64, csv, md bool, workers int, only, jsonPath string) error {
 		return err
 	}
 
-	if jsonPath == "" {
-		return nil
+	if opts.metrics {
+		fmt.Fprint(os.Stderr, obs.Take().Format())
 	}
-	effWorkers := workers
+
+	if opts.jsonPath != "" {
+		if err := writeReport(opts, prior, priorOrder, results); err != nil {
+			if runErr != nil {
+				return errors.Join(runErr, err)
+			}
+			return err
+		}
+	}
+	return runErr
+}
+
+// writeReport merges this run's completed experiments over the prior
+// report and writes the result. Entries are ordered by the canonical
+// suite order (bench.All()); prior entries for IDs no longer in the
+// suite keep their original relative order at the end.
+func writeReport(opts options, prior map[string]expReport, priorOrder []string, results []bench.RunResult) error {
+	effWorkers := opts.workers
 	if effWorkers <= 0 {
 		effWorkers = runtime.GOMAXPROCS(0)
 	}
-	rep := benchReport{Seed: seed, Workers: effWorkers}
+	merged := map[string]expReport{}
+	for id, e := range prior {
+		e.DeltaPct = nil // deltas describe the current run only
+		merged[id] = e
+	}
 	for _, r := range results {
+		if r.Err != nil || r.Table == nil {
+			continue // failed/canceled experiments keep their prior entry
+		}
 		er := expReport{ID: r.ID, Name: r.Name, WallNS: r.Elapsed.Nanoseconds()}
-		if old, ok := prior[r.ID]; ok && old > 0 {
-			d := 100 * float64(er.WallNS-old) / float64(old)
+		if old, ok := prior[r.ID]; ok && old.WallNS > 0 {
+			d := 100 * float64(er.WallNS-old.WallNS) / float64(old.WallNS)
 			er.DeltaPct = &d
 		}
-		rep.TotalNS += er.WallNS
-		rep.Experiments = append(rep.Experiments, er)
+		merged[r.ID] = er
 	}
+
+	rep := benchReport{Seed: opts.seed, Workers: effWorkers}
+	emit := func(id string) {
+		if e, ok := merged[id]; ok {
+			rep.TotalNS += e.WallNS
+			rep.Experiments = append(rep.Experiments, e)
+			delete(merged, id)
+		}
+	}
+	for _, e := range bench.All() {
+		emit(e.ID)
+	}
+	for _, id := range priorOrder {
+		emit(id)
+	}
+	snap := obs.Take()
+	rep.Metrics = &snap
+
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(jsonPath, append(raw, '\n'), 0o644)
+	return os.WriteFile(opts.jsonPath, append(raw, '\n'), 0o644)
 }

@@ -24,6 +24,12 @@ type Config struct {
 	// row job is an independent pure function of (Seed, row), so the
 	// produced tables are byte-identical for every worker count.
 	Workers int
+	// Timeout bounds the wall time of each individual experiment under
+	// RunContext/RunParallel; 0 means no limit. An experiment exceeding
+	// it fails with a timeout error on its own RunResult while its
+	// siblings run to completion (the overrunning goroutine is abandoned
+	// — experiments are pure, so no shared state is left behind).
+	Timeout time.Duration
 }
 
 // DefaultConfig returns the configuration used for EXPERIMENTS.md.

@@ -1,11 +1,28 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
+)
+
+// Runner instrumentation (see internal/obs): queue wait is the time an
+// experiment spent submitted but not yet picked up by a worker, wall is
+// the execution time of the Run call itself.
+var (
+	obsQueueWait = obs.GetTimer("bench.runner.queue_wait")
+	obsExpWall   = obs.GetTimer("bench.runner.experiment_wall")
+	obsExpOK     = obs.GetCounter("bench.runner.experiments_ok")
+	obsExpFailed = obs.GetCounter("bench.runner.experiments_failed")
+	obsPanics    = obs.GetCounter("bench.runner.panics_recovered")
+	obsTimeouts  = obs.GetCounter("bench.runner.timeouts")
+	obsCanceled  = obs.GetCounter("bench.runner.canceled")
 )
 
 // RunResult is one executed experiment with its wall time, the unit the
@@ -13,10 +30,16 @@ import (
 type RunResult struct {
 	// ID and Name identify the experiment.
 	ID, Name string
-	// Table is the experiment output.
+	// Table is the experiment output; nil when Err is set.
 	Table *Table
-	// Elapsed is the wall time of the Run call.
+	// Elapsed is the wall time of the Run call (or of the wait until the
+	// timeout/cancellation that aborted it).
 	Elapsed time.Duration
+	// Err is the failure of this experiment: a propagated Run error, a
+	// recovered panic, a timeout, or the context's cancellation error.
+	// Failures are isolated per experiment — one experiment failing does
+	// not discard its siblings' results.
+	Err error
 }
 
 // workers resolves the effective worker count.
@@ -97,14 +120,130 @@ func parMap[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
 // Config, and the row-parallel experiments derive any per-row randomness
 // from DeriveSeed, so the returned tables are byte-identical for every
 // worker count — including the sequential Workers=1 run.
+//
+// RunParallel is RunContext with a background context; see RunContext
+// for the failure-isolation and partial-result contract.
 func RunParallel(cfg Config, exps ...Experiment) ([]RunResult, error) {
-	return parMap(cfg.workers(), len(exps), func(i int) (RunResult, error) {
-		e := exps[i]
-		start := time.Now()
-		tbl, err := e.Run(cfg)
-		if err != nil {
-			return RunResult{}, fmt.Errorf("%s: %w", e.ID, err)
+	return RunContext(context.Background(), cfg, exps...)
+}
+
+// RunContext executes the experiments on a worker pool of cfg.Workers
+// goroutines and returns one RunResult per experiment, in input order.
+//
+// Failures are isolated: a panic inside an experiment is recovered into
+// that experiment's Err (with its stack), an experiment exceeding
+// cfg.Timeout is marked with a timeout error, and an experiment Run
+// error stays on its own result. The returned error is the Err of the
+// lowest-indexed failing experiment (deterministic regardless of
+// completion order), or nil when all succeeded; the slice always holds
+// every completed experiment's table, so callers can report partial
+// results after a failure.
+//
+// Cancelling ctx stops the runner promptly: experiments not yet started
+// are marked with ctx's error, and in-flight experiments are abandoned
+// (their goroutine finishes in the background and its result is
+// discarded — experiments are pure, so this leaks only CPU, not state).
+// The same abandonment applies to a per-experiment timeout.
+func RunContext(ctx context.Context, cfg Config, exps ...Experiment) ([]RunResult, error) {
+	submitted := time.Now()
+	results := make([]RunResult, len(exps))
+	workers := cfg.workers()
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	runAt := func(i int) {
+		obsQueueWait.Observe(time.Since(submitted))
+		results[i] = runOne(ctx, cfg, exps[i])
+	}
+	if workers <= 1 {
+		for i := range exps {
+			if err := ctx.Err(); err != nil {
+				results[i] = RunResult{ID: exps[i].ID, Name: exps[i].Name, Err: err}
+				obsCanceled.Inc()
+				continue
+			}
+			runAt(i)
 		}
-		return RunResult{ID: e.ID, Name: e.Name, Table: tbl, Elapsed: time.Since(start)}, nil
-	})
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					runAt(i)
+				}
+			}()
+		}
+	submit:
+		for i := range exps {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				// Everything not yet handed to a worker is canceled; no
+				// new experiment starts after the context fires.
+				for j := i; j < len(exps); j++ {
+					results[j] = RunResult{ID: exps[j].ID, Name: exps[j].Name, Err: ctx.Err()}
+					obsCanceled.Inc()
+				}
+				break submit
+			}
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("%s: %w", results[i].ID, results[i].Err)
+		}
+	}
+	return results, nil
+}
+
+// runOne executes a single experiment with panic recovery and the
+// per-experiment timeout, charging its wall time to the runner timer.
+func runOne(ctx context.Context, cfg Config, e Experiment) RunResult {
+	start := time.Now()
+	type outcome struct {
+		tbl *Table
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				obsPanics.Inc()
+				done <- outcome{err: fmt.Errorf("panic: %v\n%s", r, debug.Stack())}
+			}
+		}()
+		tbl, err := e.Run(cfg)
+		done <- outcome{tbl: tbl, err: err}
+	}()
+	var timeout <-chan time.Time
+	if cfg.Timeout > 0 {
+		timer := time.NewTimer(cfg.Timeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	res := RunResult{ID: e.ID, Name: e.Name}
+	select {
+	case o := <-done:
+		res.Table, res.Err = o.tbl, o.err
+	case <-ctx.Done():
+		res.Err = ctx.Err()
+		obsCanceled.Inc()
+	case <-timeout:
+		res.Err = fmt.Errorf("timed out after %v", cfg.Timeout)
+		obsTimeouts.Inc()
+	}
+	res.Elapsed = time.Since(start)
+	obsExpWall.Observe(res.Elapsed)
+	if res.Err != nil {
+		res.Table = nil
+		obsExpFailed.Inc()
+	} else {
+		obsExpOK.Inc()
+	}
+	return res
 }

@@ -27,6 +27,18 @@ type Table struct {
 	Notes []string
 }
 
+// normRow returns row resized to exactly n cells: short rows are padded
+// with empty cells and long rows truncated, so a ragged row can neither
+// leak cells from a previously rendered row nor crash a renderer. The
+// returned slice is freshly allocated — renderers must not share a cell
+// buffer across rows (a reused buffer is exactly how stale cells leaked
+// before).
+func normRow(row []string, n int) []string {
+	out := make([]string, n)
+	copy(out, row)
+	return out
+}
+
 // Format renders the table with aligned columns.
 func (t *Table) Format(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
@@ -40,7 +52,7 @@ func (t *Table) Format(w io.Writer) error {
 	}
 	fmt.Fprintln(tw, strings.Join(sep, "\t"))
 	for _, row := range t.Rows {
-		fmt.Fprintln(tw, strings.Join(row, "\t"))
+		fmt.Fprintln(tw, strings.Join(normRow(row, len(t.Headers)), "\t"))
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -62,18 +74,19 @@ func (t *Table) Markdown(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "## %s — %s\n\n", t.ID, t.Title); err != nil {
 		return err
 	}
-	cells := make([]string, len(t.Headers))
+	head := make([]string, len(t.Headers))
 	for i, h := range t.Headers {
-		cells[i] = esc(h)
+		head[i] = esc(h)
 	}
-	fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+	fmt.Fprintf(w, "| %s |\n", strings.Join(head, " | "))
 	sep := make([]string, len(t.Headers))
 	for i := range sep {
 		sep[i] = "---"
 	}
 	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
 	for _, row := range t.Rows {
-		for i, c := range row {
+		cells := normRow(row, len(t.Headers))
+		for i, c := range cells {
 			cells[i] = esc(c)
 		}
 		fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
@@ -105,7 +118,7 @@ func (t *Table) CSV(w io.Writer) error {
 		return err
 	}
 	for _, row := range t.Rows {
-		if err := writeRow(row); err != nil {
+		if err := writeRow(normRow(row, len(t.Headers))); err != nil {
 			return err
 		}
 	}

@@ -9,6 +9,17 @@ import (
 	"repro/internal/cost"
 	"repro/internal/graph"
 	"repro/internal/layout"
+	"repro/internal/obs"
+)
+
+// Annealer instrumentation (see internal/obs): proposed iterations,
+// accepted moves, chains run, and how often a restart chain (index > 0)
+// beat the primary chain.
+var (
+	obsIters       = obs.GetCounter("core.anneal.iterations")
+	obsAccepted    = obs.GetCounter("core.anneal.accepted_moves")
+	obsChains      = obs.GetCounter("core.anneal.chains")
+	obsRestartWins = obs.GetCounter("core.anneal.restart_wins")
 )
 
 // AnnealOptions tunes simulated annealing.
@@ -65,13 +76,18 @@ func Anneal(g *graph.Graph, p layout.Placement, opts AnnealOptions) (layout.Plac
 	wg.Wait()
 	var best layout.Placement
 	var bestCost int64
+	win := 0
 	for i, r := range results {
 		if r.err != nil {
 			return nil, 0, r.err
 		}
 		if i == 0 || r.c < bestCost {
 			best, bestCost = r.p, r.c
+			win = i
 		}
+	}
+	if win > 0 {
+		obsRestartWins.Inc()
 	}
 	return best, bestCost, nil
 }
@@ -131,6 +147,7 @@ func annealChain(c *graph.CSR, p layout.Placement, opts AnnealOptions) (layout.P
 
 	best := ev.Placement()
 	bestCost := ev.Cost()
+	accepted := int64(0) // batched into the shared counter after the loop
 	for i := 0; i < iters; i++ {
 		u, v := rng.Intn(n), rng.Intn(n)
 		if u == v {
@@ -139,6 +156,7 @@ func annealChain(c *graph.CSR, p layout.Placement, opts AnnealOptions) (layout.P
 		d := ev.SwapDelta(u, v)
 		if d <= 0 || rng.Float64() < math.Exp(-float64(d)/temp) {
 			ev.Swap(u, v)
+			accepted++
 			if c := ev.Cost(); c < bestCost {
 				bestCost = c
 				best = ev.Placement()
@@ -151,6 +169,9 @@ func annealChain(c *graph.CSR, p layout.Placement, opts AnnealOptions) (layout.P
 			}
 		}
 	}
+	obsChains.Inc()
+	obsIters.Add(int64(iters))
+	obsAccepted.Add(accepted)
 	return best, bestCost, nil
 }
 

@@ -4,6 +4,15 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
+)
+
+// Freeze instrumentation (see internal/obs): hits return the cached CSR,
+// misses pay for a rebuild (first freeze or freeze after a mutation).
+var (
+	obsFreezeHits   = obs.GetCounter("graph.freeze.hits")
+	obsFreezeMisses = obs.GetCounter("graph.freeze.misses")
 )
 
 // CSR is an immutable compressed-sparse-row snapshot of a Graph. The
@@ -34,8 +43,10 @@ const maxCSRVertices = 1 << 31
 // concurrently with mutation is not.
 func (g *Graph) Freeze() *CSR {
 	if c := g.frozen.Load(); c != nil {
+		obsFreezeHits.Inc()
 		return c
 	}
+	obsFreezeMisses.Inc()
 	c := buildCSR(g)
 	g.frozen.Store(c)
 	return c

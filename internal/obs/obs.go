@@ -1,0 +1,271 @@
+// Package obs is a minimal in-process metrics layer: named counters,
+// gauges, and timers with a consistent snapshot API and no external
+// dependencies. The hot layers of the reproduction (the simulator, the
+// annealer, the CSR cache, the experiment runner) register instruments
+// once at package init and update them with single atomic operations, so
+// instrumentation is cheap enough to leave on unconditionally.
+//
+// All instruments are safe for concurrent use. Snapshot copies the
+// current values without stopping writers, so a snapshot taken while a
+// run is in flight is a consistent-enough point-in-time view, not a
+// barrier.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored so the counter stays monotonic).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can move in both directions.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Timer accumulates durations: observation count, total, and maximum.
+type Timer struct {
+	count   atomic.Int64
+	totalNS atomic.Int64
+	maxNS   atomic.Int64
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	t.count.Add(1)
+	t.totalNS.Add(ns)
+	for {
+		cur := t.maxNS.Load()
+		if ns <= cur || t.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Start returns a stop function that observes the elapsed time when
+// called: defer obs.Timer("x").Start()().
+func (t *Timer) Start() func() {
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
+}
+
+// Stats returns the timer's current aggregates.
+func (t *Timer) Stats() TimerStats {
+	return TimerStats{
+		Count:   t.count.Load(),
+		TotalNS: t.totalNS.Load(),
+		MaxNS:   t.maxNS.Load(),
+	}
+}
+
+// TimerStats is the snapshot form of a Timer.
+type TimerStats struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	MaxNS   int64 `json:"max_ns"`
+}
+
+// MeanNS returns the mean observation in nanoseconds (0 when empty).
+func (s TimerStats) MeanNS() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.TotalNS / s.Count
+}
+
+// Registry holds named instruments. The zero value is ready to use; most
+// code uses the package-level default registry instead.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the counter with the given name, creating it on first
+// use. Repeated calls with the same name return the same instrument.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = map[string]*Counter{}
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = map[string]*Gauge{}
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the timer with the given name, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.timers == nil {
+		r.timers = map[string]*Timer{}
+	}
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// the unit the -json report embeds.
+type Snapshot struct {
+	Counters map[string]int64      `json:"counters,omitempty"`
+	Gauges   map[string]int64      `json:"gauges,omitempty"`
+	Timers   map[string]TimerStats `json:"timers,omitempty"`
+}
+
+// Snapshot copies the current value of every instrument.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.timers) > 0 {
+		s.Timers = make(map[string]TimerStats, len(r.timers))
+		for name, t := range r.timers {
+			s.Timers[name] = t.Stats()
+		}
+	}
+	return s
+}
+
+// Reset zeroes every instrument in place. Handles returned earlier stay
+// valid, so tests can reset between cases without re-registering.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, t := range r.timers {
+		t.count.Store(0)
+		t.totalNS.Store(0)
+		t.maxNS.Store(0)
+	}
+}
+
+// Format renders the snapshot as aligned "name value" lines grouped by
+// instrument kind, in lexical name order — the output of the dwmbench
+// -metrics flag.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	writeSorted := func(kind string, m map[string]int64) {
+		if len(m) == 0 {
+			return
+		}
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, "%s %-36s %d\n", kind, name, m[name])
+		}
+	}
+	writeSorted("counter", s.Counters)
+	writeSorted("gauge  ", s.Gauges)
+	if len(s.Timers) > 0 {
+		names := make([]string, 0, len(s.Timers))
+		for name := range s.Timers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			st := s.Timers[name]
+			fmt.Fprintf(&b, "timer   %-36s count=%d total=%s mean=%s max=%s\n",
+				name, st.Count,
+				time.Duration(st.TotalNS), time.Duration(st.MeanNS()), time.Duration(st.MaxNS))
+		}
+	}
+	return b.String()
+}
+
+// defaultRegistry is the process-wide registry the instrumented layers
+// use.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// GetCounter returns a counter from the default registry.
+func GetCounter(name string) *Counter { return defaultRegistry.Counter(name) }
+
+// GetGauge returns a gauge from the default registry.
+func GetGauge(name string) *Gauge { return defaultRegistry.Gauge(name) }
+
+// GetTimer returns a timer from the default registry.
+func GetTimer(name string) *Timer { return defaultRegistry.Timer(name) }
+
+// Take returns a snapshot of the default registry.
+func Take() Snapshot { return defaultRegistry.Snapshot() }
+
+// ResetDefault zeroes the default registry (tests and benchmark setup).
+func ResetDefault() { defaultRegistry.Reset() }

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("same name returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestTimerStats(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("t")
+	tm.Observe(10 * time.Millisecond)
+	tm.Observe(30 * time.Millisecond)
+	st := tm.Stats()
+	if st.Count != 2 {
+		t.Fatalf("count = %d, want 2", st.Count)
+	}
+	if st.TotalNS != int64(40*time.Millisecond) {
+		t.Fatalf("total = %d, want 40ms", st.TotalNS)
+	}
+	if st.MaxNS != int64(30*time.Millisecond) {
+		t.Fatalf("max = %d, want 30ms", st.MaxNS)
+	}
+	if st.MeanNS() != int64(20*time.Millisecond) {
+		t.Fatalf("mean = %d, want 20ms", st.MeanNS())
+	}
+	stop := tm.Start()
+	stop()
+	if tm.Stats().Count != 3 {
+		t.Fatal("Start/stop did not observe")
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(9)
+	r.Timer("c").Observe(time.Millisecond)
+	s := r.Snapshot()
+	if s.Counters["a"] != 3 || s.Gauges["b"] != 9 || s.Timers["c"].Count != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// Snapshot is a copy: later writes must not show up in it.
+	r.Counter("a").Add(1)
+	if s.Counters["a"] != 3 {
+		t.Fatal("snapshot aliases live counter")
+	}
+	r.Reset()
+	if r.Counter("a").Value() != 0 || r.Gauge("b").Value() != 0 || r.Timer("c").Stats().Count != 0 {
+		t.Fatal("Reset did not zero instruments")
+	}
+	// Handles obtained before Reset stay wired to the registry.
+	r.Counter("a").Inc()
+	if r.Snapshot().Counters["a"] != 1 {
+		t.Fatal("pre-Reset handle detached from registry")
+	}
+}
+
+func TestSnapshotFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.second").Add(2)
+	r.Counter("a.first").Add(1)
+	r.Gauge("g").Set(5)
+	r.Timer("t").Observe(time.Millisecond)
+	out := r.Snapshot().Format()
+	ia, iz := strings.Index(out, "a.first"), strings.Index(out, "z.second")
+	if ia < 0 || iz < 0 || ia > iz {
+		t.Fatalf("counters missing or unsorted:\n%s", out)
+	}
+	for _, want := range []string{"gauge", "timer", "count=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("hits").Inc()
+				r.Timer("lat").Observe(time.Microsecond)
+				r.Gauge("depth").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != workers*per {
+		t.Fatalf("hits = %d, want %d", got, workers*per)
+	}
+	if got := r.Timer("lat").Stats().Count; got != workers*per {
+		t.Fatalf("timer count = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("depth").Value(); got != workers*per {
+		t.Fatalf("gauge = %d, want %d", got, workers*per)
+	}
+}
+
+func TestDefaultRegistryHelpers(t *testing.T) {
+	ResetDefault()
+	GetCounter("x").Inc()
+	GetGauge("y").Set(2)
+	GetTimer("z").Observe(time.Millisecond)
+	s := Take()
+	if s.Counters["x"] != 1 || s.Gauges["y"] != 2 || s.Timers["z"].Count != 1 {
+		t.Fatalf("default registry snapshot = %+v", s)
+	}
+	if Default() == nil {
+		t.Fatal("Default returned nil")
+	}
+	ResetDefault()
+	if Take().Counters["x"] != 0 {
+		t.Fatal("ResetDefault did not zero")
+	}
+}

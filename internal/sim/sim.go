@@ -11,11 +11,21 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/dwm"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/trace"
+)
+
+// Simulator instrumentation (see internal/obs): runs, accesses served,
+// and shifts issued, accumulated process-wide across all simulators.
+var (
+	obsRuns     = obs.GetCounter("sim.runs")
+	obsAccesses = obs.GetCounter("sim.accesses")
+	obsShifts   = obs.GetCounter("sim.shifts")
 )
 
 // HeadPolicy selects what the simulator does with tape heads between
@@ -69,8 +79,18 @@ func distribution(perAccess []int) ShiftDistribution {
 	for _, v := range perAccess {
 		sum += int64(v)
 	}
+	// Nearest-rank percentile: the smallest element with at least a q
+	// fraction of the sample at or below it, i.e. index ceil(q·n)-1. The
+	// earlier floor form int(q·(n-1)) biased P50/P95 low on small
+	// samples (e.g. P95 of 4 samples picked index 2, not the 3rd of 4).
 	at := func(q float64) int {
-		i := int(q * float64(len(perAccess)-1))
+		i := int(math.Ceil(q*float64(len(perAccess)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(perAccess) {
+			i = len(perAccess) - 1
+		}
 		return perAccess[i]
 	}
 	return ShiftDistribution{
@@ -184,6 +204,9 @@ func (s *Simulator) Run(t *trace.Trace) (Result, error) {
 	res.EnergyPJ = res.Counters.EnergyPJ(p)
 	res.ShiftDist = distribution(perAccess)
 	s.scratch = perAccess
+	obsRuns.Inc()
+	obsAccesses.Add(int64(res.Accesses))
+	obsShifts.Add(res.Counters.Shifts)
 	return res, nil
 }
 

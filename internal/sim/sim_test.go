@@ -292,18 +292,54 @@ func TestShiftDistribution(t *testing.T) {
 	if sd.Max != 7 {
 		t.Errorf("Max = %d, want 7", sd.Max)
 	}
-	if sd.P50 != 0 { // index int(0.5*3)=1 -> 0
+	if sd.P50 != 0 { // nearest-rank: index ceil(0.5*4)-1 = 1 -> 0
 		t.Errorf("P50 = %d, want 0", sd.P50)
 	}
 	if sd.Mean != 11.0/4 {
 		t.Errorf("Mean = %g, want 2.75", sd.Mean)
 	}
-	if sd.P95 != 4 { // sorted [0,0,4,7], index int(0.95*3) = 2 -> 4
-		t.Errorf("P95 = %d, want 4", sd.P95)
+	if sd.P95 != 7 { // sorted [0,0,4,7], nearest-rank index ceil(0.95*4)-1 = 3 -> 7
+		t.Errorf("P95 = %d, want 7", sd.P95)
 	}
 	// Distribution totals must agree with the counter.
 	if int64(sd.Mean*float64(res.Accesses)+0.5) != res.Counters.Shifts {
 		t.Errorf("mean*n = %g inconsistent with total %d", sd.Mean*4, res.Counters.Shifts)
+	}
+}
+
+// Regression for the percentile floor bias: distribution must use
+// nearest-rank (index ceil(q·n)-1), not int(q·(n-1)), which picked an
+// element below the true percentile on small samples.
+func TestDistributionNearestRank(t *testing.T) {
+	cases := []struct {
+		name     string
+		in       []int
+		p50, p95 int
+	}{
+		{"single", []int{9}, 9, 9},
+		{"pair", []int{1, 5}, 1, 5},
+		// Old floor form gave P95 = 4 here (index int(0.95*3) = 2).
+		{"four", []int{7, 0, 4, 0}, 0, 7},
+		{"five", []int{10, 20, 30, 40, 50}, 30, 50},
+		// 20 samples: P95 is the 19th order statistic (ceil(19)-1 = 18),
+		// where the floor form picked index int(0.95*19) = 18 too — the
+		// two agree on larger samples.
+		{"twenty", func() []int {
+			xs := make([]int, 20)
+			for i := range xs {
+				xs[i] = i + 1
+			}
+			return xs
+		}(), 10, 19},
+	}
+	for _, c := range cases {
+		sd := distribution(append([]int(nil), c.in...))
+		if sd.P50 != c.p50 {
+			t.Errorf("%s: P50 = %d, want %d", c.name, sd.P50, c.p50)
+		}
+		if sd.P95 != c.p95 {
+			t.Errorf("%s: P95 = %d, want %d", c.name, sd.P95, c.p95)
+		}
 	}
 }
 
