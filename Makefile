@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench-smoke bench-report merge-smoke ci
+.PHONY: all build vet lint fmt-check test race bench-smoke bench-report merge-smoke determinism-smoke ci
 
 all: ci
 
@@ -9,6 +9,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# dwmlint enforces the determinism contract (DESIGN.md §9): no global
+# RNG state, no wall-clock reads outside obs/the runner, no map-order
+# leaks into results, no naked goroutines. Zero unsuppressed
+# diagnostics required; exemptions carry //dwmlint:ignore justifications.
+lint:
+	$(GO) run ./cmd/dwmlint ./...
 
 # Fail if any file needs gofmt (prints the offenders).
 fmt-check:
@@ -41,4 +48,19 @@ merge-smoke:
 	grep -q '"id": "E1"' "$$tmp" && grep -q '"id": "E5"' "$$tmp" || \
 	{ echo "merge-smoke: E1 entry lost after -only E5 run"; exit 1; }
 
-ci: fmt-check vet build race bench-smoke merge-smoke
+# The headline guarantee, checked end to end: the rendered tables of a
+# sequential run and an 8-worker run of the same seed must be
+# byte-identical. E8 is excluded because its wall-clock time column is
+# the experiment's output (see its dwmlint:ignore justification).
+DETERMINISTIC_EXPS = E1,E2,E3,E4,E5,E6,E7,E9,E10,E11,E12,E13,E14,E15,E16,E17,E18,E19,E20,E21,E22
+
+determinism-smoke:
+	@a="$$(mktemp)"; b="$$(mktemp)"; trap 'rm -f "$$a" "$$b"' EXIT; \
+	$(GO) run ./cmd/dwmbench -seed 1 -workers 1 -only $(DETERMINISTIC_EXPS) > "$$a" && \
+	$(GO) run ./cmd/dwmbench -seed 1 -workers 8 -only $(DETERMINISTIC_EXPS) > "$$b" && \
+	if ! cmp -s "$$a" "$$b"; then \
+		echo "determinism-smoke: workers=1 and workers=8 tables differ:"; \
+		diff -u "$$a" "$$b"; exit 1; \
+	fi
+
+ci: fmt-check vet lint build race bench-smoke merge-smoke determinism-smoke

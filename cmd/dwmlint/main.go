@@ -1,0 +1,89 @@
+// Command dwmlint checks the repository against the determinism
+// contract (DESIGN.md §9): experiment results must be a pure function of
+// (seed, config). It runs the internal/analysis suite — seededrand,
+// maporder, walltime, barego — over the named packages and fails on any
+// diagnostic not covered by an inline justification:
+//
+//	//dwmlint:ignore <analyzer> <justification>
+//
+// Usage:
+//
+//	dwmlint [-only analyzer,...] [-v] [-list] [packages]
+//
+// Packages default to ./..., in the `go list` pattern syntax. Exit
+// status is 1 when unsuppressed diagnostics remain, 2 on a loading or
+// internal failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	verbose := flag.Bool("v", false, "also print suppressed diagnostics with their justifications")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	ok, err := run(*only, *verbose, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dwmlint:", err)
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func run(only string, verbose bool, patterns []string) (bool, error) {
+	analyzers := analysis.All()
+	if only != "" {
+		var err error
+		if analyzers, err = analysis.ByName(only); err != nil {
+			return false, err
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := load.NewLoader(".")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return false, err
+	}
+
+	bad, suppressed := 0, 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(loader.Fset, pkg.Files, pkg.Path, pkg.Types, pkg.Info, analyzers)
+		if err != nil {
+			return false, err
+		}
+		for _, d := range diags {
+			if d.Suppressed {
+				suppressed++
+				if verbose {
+					fmt.Printf("%s (suppressed: %s)\n", d, d.Justification)
+				}
+				continue
+			}
+			bad++
+			fmt.Println(d)
+		}
+	}
+	if verbose || bad > 0 {
+		fmt.Printf("dwmlint: %d package(s), %d diagnostic(s), %d suppressed\n", len(pkgs), bad, suppressed)
+	}
+	return bad == 0, nil
+}

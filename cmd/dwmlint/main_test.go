@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os/exec"
+	"testing"
+)
+
+func requireGo(t *testing.T) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+}
+
+// TestDogfoodRepoIsClean is the committed form of the CI gate: the whole
+// module must produce zero unsuppressed diagnostics.
+func TestDogfoodRepoIsClean(t *testing.T) {
+	requireGo(t)
+	ok, err := run("", false, []string{"repro/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("dwmlint reports unsuppressed diagnostics on the repo; run `make lint` for the list")
+	}
+}
+
+func TestOnlySubsetRuns(t *testing.T) {
+	requireGo(t)
+	ok, err := run("maporder", false, []string{"repro/internal/graph"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("maporder reports diagnostics on repro/internal/graph")
+	}
+}
+
+func TestUnknownAnalyzerFails(t *testing.T) {
+	if _, err := run("nosuch", false, nil); err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+}

@@ -1,0 +1,303 @@
+// Package analysis is the home of dwmlint, the project's determinism
+// contract checker. It provides a small analyzer framework modeled on
+// golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic), built
+// only on the standard library's go/ast and go/types so the module stays
+// dependency-free in the hermetic build environment. The API mirrors
+// x/tools closely enough that a later PR can swap the framework for the
+// real one without rewriting the analyzers.
+//
+// The contract the analyzers enforce is the one DESIGN.md §9 documents:
+// experiment results must be a pure function of (seed, config) — no
+// global RNG state, no wall-clock reads, no map-iteration order, and no
+// unstructured concurrency may influence a table row.
+//
+// A diagnostic at a site that is deliberately exempt is suppressed with
+// an inline justification comment:
+//
+//	//dwmlint:ignore <analyzer> <justification>
+//
+// placed on the flagged line, on the line immediately above it, or in
+// the doc comment of the enclosing function (which then covers the whole
+// function body). A directive without a justification is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one rule of the determinism contract.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// dwmlint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the rule, shown by
+	// `dwmlint -list`.
+	Doc string
+	// Run applies the rule to one package, reporting findings through
+	// the Pass.
+	Run func(*Pass) error
+}
+
+// All returns the dwmlint analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{SeededRand, MapOrder, WallTime, BareGo}
+}
+
+// ByName resolves a comma-separated analyzer list; an unknown name is an
+// error listing the valid ones.
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			var valid []string
+			for _, a := range All() {
+				valid = append(valid, a.Name)
+			}
+			return nil, fmt.Errorf("unknown analyzer %q (valid: %s)", name, strings.Join(valid, ", "))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}
+
+// A Pass connects one analyzer to one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	PkgPath   string
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, with its suppression state resolved by
+// ApplySuppressions.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Suppressed is set when a dwmlint:ignore directive covers the
+	// finding; Justification carries the directive's reason.
+	Suppressed    bool
+	Justification string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// RunPackage applies the analyzers to one package and returns the
+// findings with suppression directives from the package's own files
+// already applied, sorted by position.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkgPath string, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			PkgPath:   pkgPath,
+			Pkg:       pkg,
+			TypesInfo: info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkgPath, a.Name, err)
+		}
+	}
+	diags = append(diags, ApplySuppressions(fset, files, diags)...)
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// ignoreDirective is one parsed dwmlint:ignore comment.
+type ignoreDirective struct {
+	analyzer      string
+	justification string
+	file          string
+	line          int
+}
+
+const ignorePrefix = "//dwmlint:ignore"
+
+// parseDirectives extracts every dwmlint:ignore directive from the
+// files. Malformed directives (no analyzer name or no justification) are
+// returned as diagnostics so a bare ignore can never silence a finding.
+func parseDirectives(fset *token.FileSet, files []*ast.File) (list []ignoreDirective, bad []Diagnostic) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				name, justification, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				if name == "" || strings.TrimSpace(justification) == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: "dwmlint",
+						Pos:      pos,
+						Message:  "dwmlint:ignore directive needs an analyzer name and a justification",
+					})
+					continue
+				}
+				list = append(list, ignoreDirective{
+					analyzer:      name,
+					justification: strings.TrimSpace(justification),
+					file:          pos.Filename,
+					line:          pos.Line,
+				})
+			}
+		}
+	}
+	return list, bad
+}
+
+// funcRange is the source extent of a function whose doc comment carries
+// ignore directives; such directives cover the whole body.
+type funcRange struct {
+	file       string
+	start, end int
+	directives []ignoreDirective
+}
+
+func docDirectiveRanges(fset *token.FileSet, files []*ast.File, directives []ignoreDirective) []funcRange {
+	var out []funcRange
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			docStart := fset.Position(fd.Doc.Pos())
+			docEnd := fset.Position(fd.Doc.End())
+			var covering []ignoreDirective
+			for _, d := range directives {
+				if d.file == docStart.Filename && d.line >= docStart.Line && d.line <= docEnd.Line {
+					covering = append(covering, d)
+				}
+			}
+			if len(covering) == 0 {
+				continue
+			}
+			out = append(out, funcRange{
+				file:       docStart.Filename,
+				start:      fset.Position(fd.Pos()).Line,
+				end:        fset.Position(fd.End()).Line,
+				directives: covering,
+			})
+		}
+	}
+	return out
+}
+
+// ApplySuppressions marks diagnostics covered by dwmlint:ignore
+// directives in the given files (same line, the line above, or the doc
+// comment of the enclosing function) and returns extra diagnostics for
+// malformed directives. The input slice is modified in place.
+func ApplySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	directives, bad := parseDirectives(fset, files)
+	ranges := docDirectiveRanges(fset, files, directives)
+	for i := range diags {
+		d := &diags[i]
+	match:
+		for _, dir := range directives {
+			if dir.analyzer != d.Analyzer || dir.file != d.Pos.Filename {
+				continue
+			}
+			if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+				d.Suppressed = true
+				d.Justification = dir.justification
+				break match
+			}
+		}
+		if d.Suppressed {
+			continue
+		}
+		for _, r := range ranges {
+			if r.file != d.Pos.Filename || d.Pos.Line < r.start || d.Pos.Line > r.end {
+				continue
+			}
+			for _, dir := range r.directives {
+				if dir.analyzer == d.Analyzer {
+					d.Suppressed = true
+					d.Justification = dir.justification
+					break
+				}
+			}
+			if d.Suppressed {
+				break
+			}
+		}
+	}
+	return bad
+}
+
+// isTestFile reports whether the file is a _test.go file; the contract
+// governs experiment code, not tests.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.File(f.Pos()).Name(), "_test.go")
+}
+
+// calleeFunc resolves the called function (or method) of a call
+// expression, nil when the callee is not a named function — a function
+// literal, a conversion, or a builtin.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

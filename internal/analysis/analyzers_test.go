@@ -1,0 +1,43 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each analyzer's fixture covers a true positive, a suppressed site, and
+// a false-positive guard (see testdata/src/<name>/a.go).
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.SeededRand, "seededrand")
+}
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MapOrder, "maporder")
+}
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.WallTime, "walltime")
+}
+
+func TestBareGo(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.BareGo, "barego")
+}
+
+func TestByName(t *testing.T) {
+	got, err := analysis.ByName("maporder, walltime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "maporder" || got[1].Name != "walltime" {
+		t.Fatalf("ByName returned %v", got)
+	}
+	if _, err := analysis.ByName("nosuch"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+	if _, err := analysis.ByName(""); err == nil {
+		t.Fatal("ByName accepted an empty selection")
+	}
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// BareGo flags naked `go` statements. All experiment concurrency is
+// supposed to flow through the runner's parMap so it stays
+// order-preserving (results land in input-indexed slots) and cancellable
+// (workers drain a channel the runner closes). A goroutine launched
+// anywhere else needs a justification showing it preserves both
+// properties.
+var BareGo = &Analyzer{
+	Name: "barego",
+	Doc: "flag go statements outside the runner's parMap so all " +
+		"concurrency stays order-preserving and cancellable",
+	Run: runBareGo,
+}
+
+// bareGoAllowedFiles maps package path to the file hosting the approved
+// worker-pool implementation.
+var bareGoAllowedFiles = map[string]string{
+	"repro/internal/bench": "runner.go",
+}
+
+func runBareGo(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		if base := filepath.Base(pass.Fset.File(f.Pos()).Name()); base == bareGoAllowedFiles[pass.PkgPath] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"go statement outside the runner's parMap; route concurrency through parMap or justify order preservation and cancellation")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package load
+
+import (
+	"go/types"
+	"testing"
+)
+
+func TestLoadStdlibPackage(t *testing.T) {
+	l := NewLoader(".")
+	pkgs, err := l.Load("sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "sort" {
+		t.Fatalf("Load(sort) returned %v", pkgs)
+	}
+	p := pkgs[0]
+	if p.Types == nil || p.Types.Scope().Lookup("Ints") == nil {
+		t.Fatal("sort.Ints not found in type-checked package")
+	}
+	if len(p.Info.Uses) == 0 {
+		t.Fatal("no use information recorded")
+	}
+}
+
+func TestLoadModulePackageResolvesImports(t *testing.T) {
+	l := NewLoader(".")
+	pkgs, err := l.Load("repro/internal/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pkgs[0]
+	obj := p.Types.Scope().Lookup("FromTrace")
+	if obj == nil {
+		t.Fatal("graph.FromTrace not found")
+	}
+	// The trace dependency must be type-checked for FromTrace's
+	// signature to resolve to a named parameter type.
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 {
+		t.Fatalf("unexpected FromTrace type %v", obj.Type())
+	}
+	if got := sig.Params().At(0).Type().String(); got != "*repro/internal/trace.Trace" {
+		t.Fatalf("FromTrace parameter type = %s", got)
+	}
+}
+
+func TestLoadCachesAcrossCalls(t *testing.T) {
+	l := NewLoader(".")
+	if _, err := l.Load("repro/internal/layout"); err != nil {
+		t.Fatal(err)
+	}
+	first := l.pkgs["repro/internal/layout"]
+	if _, err := l.Load("repro/internal/layout"); err != nil {
+		t.Fatal(err)
+	}
+	if l.pkgs["repro/internal/layout"] != first {
+		t.Fatal("second Load re-checked a cached package")
+	}
+}
+
+func TestLoadUnknownPackageFails(t *testing.T) {
+	l := NewLoader(".")
+	if _, err := l.Load("repro/internal/nosuchpkg"); err == nil {
+		t.Fatal("Load of a nonexistent package succeeded")
+	}
+}

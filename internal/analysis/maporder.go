@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `for range` over a map whose body lets the iteration
+// order escape: appending to a slice that outlives the loop without a
+// later sort, accumulating into a float (addition is not associative) or
+// concatenating a string, or writing output directly. Go randomizes map
+// iteration order per run, so any of these makes a result differ run to
+// run. The approved pattern — collect the keys, sort, iterate the sorted
+// slice — is recognized and never flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration whose order escapes into results (appends " +
+		"without a later sort, float/string accumulation, direct output); " +
+		"the sorted-keys pattern is recognized as safe",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sorted := collectSortCalls(pass.TypesInfo, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRangeBody(pass, rs, sorted)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectSortCalls records, per sorted object, the positions of sort.* /
+// slices.Sort* calls in the function body. An append inside a map range
+// is harmless when the slice is sorted after the loop.
+func collectSortCalls(info *types.Info, body *ast.BlockStmt) map[types.Object][]token.Pos {
+	sorted := make(map[types.Object][]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+			return true
+		}
+		if !isSortFunc(fn) {
+			return true
+		}
+		for _, obj := range rootObjects(info, call.Args[0]) {
+			sorted[obj] = append(sorted[obj], call.Pos())
+		}
+		return true
+	})
+	return sorted
+}
+
+func isSortFunc(fn *types.Func) bool {
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Ints", "Strings", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// rootObjects resolves the variables an expression is built from,
+// looking through parens, unary ops, conversions/wrappers like
+// sort.Sort(byWeight(es)), and composite literals like byWeight{es}.
+func rootObjects(info *types.Info, e ast.Expr) []types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.ObjectOf(e); obj != nil {
+			return []types.Object{obj}
+		}
+	case *ast.SelectorExpr:
+		if obj, _ := info.Uses[e.Sel]; obj != nil {
+			return []types.Object{obj}
+		}
+	case *ast.UnaryExpr:
+		return rootObjects(info, e.X)
+	case *ast.CallExpr:
+		var out []types.Object
+		for _, a := range e.Args {
+			out = append(out, rootObjects(info, a)...)
+		}
+		return out
+	case *ast.CompositeLit:
+		var out []types.Object
+		for _, el := range e.Elts {
+			out = append(out, rootObjects(info, el)...)
+		}
+		return out
+	}
+	return nil
+}
+
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, sorted map[types.Object][]token.Pos) {
+	info := pass.TypesInfo
+	declaredOutside := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < rs.Body.Pos() || obj.Pos() > rs.Body.End())
+	}
+	sortedAfterLoop := func(obj types.Object) bool {
+		for _, pos := range sorted[obj] {
+			if pos > rs.End() {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			lhs := rootObjects(info, n.Lhs[0])
+			if len(lhs) != 1 || !declaredOutside(lhs[0]) {
+				return true
+			}
+			obj := lhs[0]
+			switch n.Tok {
+			case token.ASSIGN, token.DEFINE:
+				if isAppendCall(info, n.Rhs[0]) && !sortedAfterLoop(obj) {
+					pass.Reportf(n.Pos(),
+						"%s is appended to in map-iteration order and never sorted afterwards; iterate sorted keys or sort %s before use",
+						obj.Name(), obj.Name())
+				}
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if t := obj.Type(); isFloat(t) {
+					pass.Reportf(n.Pos(),
+						"float %s accumulates in map-iteration order; float addition is not associative, so iterate sorted keys",
+						obj.Name())
+				} else if n.Tok == token.ADD_ASSIGN && isString(obj.Type()) {
+					pass.Reportf(n.Pos(),
+						"string %s is built in map-iteration order; iterate sorted keys", obj.Name())
+				}
+			}
+		case *ast.ExprStmt:
+			call, ok := n.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(info, call); fn != nil && isOutputFunc(fn) {
+				pass.Reportf(call.Pos(),
+					"%s emits output in map-iteration order; iterate sorted keys instead", fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+func isAppendCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isOutputFunc reports whether a call emits user-visible output: the
+// fmt print family, or Write* methods on the stdlib text sinks.
+func isOutputFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		return strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type().String()
+	if recv != "*strings.Builder" && recv != "*bytes.Buffer" {
+		return false
+	}
+	return strings.HasPrefix(fn.Name(), "Write")
+}

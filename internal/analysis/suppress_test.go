@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc parses one synthetic file for suppression-matching tests; no
+// type information is needed because ApplySuppressions works on
+// positions alone.
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func diagAt(fset *token.FileSet, analyzer string, line int) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: "x.go", Line: line, Column: 1},
+		Message:  "finding",
+	}
+}
+
+func TestSuppressionSameAndPrecedingLine(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+func f() {
+	a() //dwmlint:ignore walltime same-line reason
+	//dwmlint:ignore barego preceding-line reason
+	b()
+}
+func a() {}
+func b() {}
+`)
+	diags := []Diagnostic{
+		diagAt(fset, "walltime", 4),
+		diagAt(fset, "barego", 6),
+		diagAt(fset, "maporder", 4), // directive names a different analyzer
+		diagAt(fset, "walltime", 6), // directive on line 5 names barego, not walltime
+	}
+	bad := ApplySuppressions(fset, files, diags)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-directive diagnostics: %v", bad)
+	}
+	want := []bool{true, true, false, false}
+	justs := []string{"same-line reason", "preceding-line reason", "", ""}
+	for i, d := range diags {
+		if d.Suppressed != want[i] {
+			t.Errorf("diag %d (%s line %d): suppressed=%v, want %v", i, d.Analyzer, d.Pos.Line, d.Suppressed, want[i])
+		}
+		if d.Justification != justs[i] {
+			t.Errorf("diag %d: justification %q, want %q", i, d.Justification, justs[i])
+		}
+	}
+}
+
+func TestSuppressionFuncDocCoversBody(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+// f measures runtime on purpose.
+//
+//dwmlint:ignore walltime timing is the output here
+func f() {
+	a()
+	b()
+}
+
+func g() {
+	a()
+}
+func a() {}
+func b() {}
+`)
+	diags := []Diagnostic{
+		diagAt(fset, "walltime", 7),  // inside f
+		diagAt(fset, "walltime", 8),  // inside f
+		diagAt(fset, "walltime", 12), // inside g: not covered
+		diagAt(fset, "barego", 7),    // different analyzer: not covered
+	}
+	ApplySuppressions(fset, files, diags)
+	want := []bool{true, true, false, false}
+	for i, d := range diags {
+		if d.Suppressed != want[i] {
+			t.Errorf("diag %d (line %d): suppressed=%v, want %v", i, d.Pos.Line, d.Suppressed, want[i])
+		}
+	}
+}
+
+func TestBareDirectiveIsReported(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+func f() {
+	//dwmlint:ignore walltime
+	a()
+	//dwmlint:ignore
+	b()
+}
+func a() {}
+func b() {}
+`)
+	diags := []Diagnostic{diagAt(fset, "walltime", 5)}
+	bad := ApplySuppressions(fset, files, diags)
+	if len(bad) != 2 {
+		t.Fatalf("expected 2 malformed-directive diagnostics, got %d: %v", len(bad), bad)
+	}
+	for _, b := range bad {
+		if !strings.Contains(b.Message, "justification") {
+			t.Errorf("malformed-directive message %q does not mention the missing justification", b.Message)
+		}
+	}
+	if diags[0].Suppressed {
+		t.Error("a directive without a justification must not suppress anything")
+	}
+}

@@ -1,0 +1,36 @@
+package barego
+
+import "sync"
+
+// fireAndForget: a naked goroutine with no ordering or cancellation
+// story.
+func fireAndForget(work func()) {
+	go work() // want `go statement outside the runner's parMap`
+}
+
+// suppressed: an indexed fan-out with a justification.
+func suppressed(jobs []func() int) []int {
+	out := make([]int, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		//dwmlint:ignore barego fixture: results land in index-i slots, join below
+		go func(i int, j func() int) {
+			defer wg.Done()
+			out[i] = j()
+		}(i, j)
+	}
+	wg.Wait()
+	return out
+}
+
+// sequential must not fire: no goroutines at all, and a deferred call
+// is not a go statement.
+func sequential(jobs []func() int) []int {
+	out := make([]int, 0, len(jobs))
+	for _, j := range jobs {
+		defer j()
+		out = append(out, j())
+	}
+	return out
+}

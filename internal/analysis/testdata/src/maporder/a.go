@@ -1,0 +1,75 @@
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// edgesNoSort mirrors graph.Edges with the sort deleted — the committed
+// code keeps the sort; this fixture is the analyzer-level proof that
+// removing it fails the lint (ISSUE 3 acceptance).
+func edgesNoSort(m map[int]int64) []int {
+	var es []int
+	for k := range m {
+		es = append(es, k) // want `es is appended to in map-iteration order and never sorted`
+	}
+	return es
+}
+
+// floatAccum and stringAccum: order-dependent accumulation. Float
+// addition is not associative; string concatenation is not commutative.
+func floatAccum(m map[string]float64) (float64, string) {
+	var sum float64
+	var names string
+	for _, v := range m {
+		sum += v // want `float sum accumulates in map-iteration order`
+	}
+	for k := range m {
+		names += k // want `string names is built in map-iteration order`
+	}
+	return sum, names
+}
+
+// printsInMapOrder: output emitted directly from the loop body.
+func printsInMapOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `Printf emits output in map-iteration order`
+	}
+}
+
+// suppressed: a justified ignore keeps a deliberate unspecified-order
+// collection out of the report.
+func suppressed(m map[int]int64) []int {
+	var peers []int
+	for k := range m {
+		//dwmlint:ignore maporder fixture: consumer treats peers as an unordered set
+		peers = append(peers, k)
+	}
+	return peers
+}
+
+// sortedKeys is the approved pattern and must not fire: collect the
+// keys, sort, then iterate the sorted slice.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// commutativeOK must not fire: integer sums and counts commute, map and
+// indexed writes land in keyed slots, and loop-local slices die each
+// iteration.
+func commutativeOK(m map[int]int64, n int) (int64, []int64) {
+	var total int64
+	hist := make([]int64, n)
+	for k, v := range m {
+		total += v
+		hist[k%n] = v
+		local := []int64{v}
+		_ = local
+	}
+	return total, hist
+}

@@ -1,0 +1,35 @@
+package seededrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// globalDraws exercise the true positives: package-level functions draw
+// from the process-global source.
+func globalDraws() (int, float64) {
+	a := rand.Intn(6)                  // want `rand\.Intn draws from the process-global source`
+	b := rand.Float64()                // want `rand\.Float64 draws from the process-global source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global source`
+	return a, b
+}
+
+// timeSeeded exercises the wall-clock-seed positive: the constructor is
+// fine, its seed is not.
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `wall clock seeds rand\.NewSource`
+}
+
+// suppressed shows the escape hatch: a justified ignore on the line
+// above silences the diagnostic.
+func suppressed() int {
+	//dwmlint:ignore seededrand fixture: demonstrating the suppression syntax
+	return rand.Intn(6)
+}
+
+// threaded is the approved pattern and must not fire: an explicit seed
+// builds the source, and all draws go through the threaded *rand.Rand.
+func threaded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}

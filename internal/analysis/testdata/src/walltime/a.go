@@ -1,0 +1,25 @@
+package walltime
+
+import "time"
+
+// measure: both wall-clock reads fire outside the allowed locations.
+func measure() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// suppressedTiming shows the function-scope escape hatch: one directive
+// in the doc comment covers every read in the body.
+//
+//dwmlint:ignore walltime fixture: this experiment measures runtime itself
+func suppressedTiming() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// pureClockMath must not fire: constructing and comparing time values
+// without reading the clock is fine.
+func pureClockMath(d time.Duration) time.Time {
+	epoch := time.Unix(0, 0)
+	return epoch.Add(d)
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// WallTime confines wall-clock reads to the observability layer and the
+// runner's timing fields. A time.Now anywhere else is a channel for
+// machine speed to leak into experiment results, which must be a pure
+// function of (seed, config). Experiments that measure runtime itself
+// (E8) carry a dwmlint:ignore directive in their doc comment.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc: "confine time.Now/time.Since to internal/obs and the runner's " +
+		"timing fields so wall clock never leaks into experiment results",
+	Run: runWallTime,
+}
+
+// wallTimeAllowedPkgs may read the clock freely: obs exists to measure
+// wall time.
+var wallTimeAllowedPkgs = map[string]bool{
+	"repro/internal/obs": true,
+}
+
+// wallTimeAllowedFiles maps package path to the one file that may read
+// the clock: the runner records Elapsed/queue-wait timing fields.
+var wallTimeAllowedFiles = map[string]string{
+	"repro/internal/bench": "runner.go",
+}
+
+func runWallTime(pass *Pass) error {
+	if wallTimeAllowedPkgs[pass.PkgPath] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		if base := filepath.Base(pass.Fset.File(f.Pos()).Name()); base == wallTimeAllowedFiles[pass.PkgPath] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if name := fn.Name(); name == "Now" || name == "Since" {
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock outside internal/obs and the runner; results must be a pure function of (seed, config)",
+					name)
+			}
+			return true
+		})
+	}
+	return nil
+}

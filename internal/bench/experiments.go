@@ -525,6 +525,8 @@ func E7MultiTape(cfg Config) (*Table, error) {
 // E8Runtime reproduces the algorithm-runtime figure: construction time of
 // each algorithm as the item count grows (heuristics) and for the exact
 // DP on small instances.
+//
+//dwmlint:ignore walltime E8 measures algorithm runtime — wall clock IS the experiment's output; its time column is exempt from cross-run comparison (see determinism-smoke)
 func E8Runtime(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:      "E8",

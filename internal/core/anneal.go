@@ -62,6 +62,7 @@ func Anneal(g *graph.Graph, p layout.Placement, opts AnnealOptions) (layout.Plac
 	var wg sync.WaitGroup
 	for i := 0; i < opts.Restarts; i++ {
 		wg.Add(1)
+		//dwmlint:ignore barego restart chains are independent, write to index-i slots, and the winner is picked by (cost, index) — order-preserving by construction
 		go func(i int) {
 			defer wg.Done()
 			chainOpts := opts

@@ -46,6 +46,7 @@ func Propose(t *trace.Trace, g *graph.Graph) (layout.Placement, int64, error) {
 	var wg sync.WaitGroup
 	for i, s := range seeds {
 		wg.Add(1)
+		//dwmlint:ignore barego seed refinements are independent, write to index-i slots, and the winner is picked by (cost, seed order) — order-preserving by construction
 		go func(i int, s layout.Placement) {
 			defer wg.Done()
 			p, c, err := TwoOpt(g, s, TwoOptOptions{})

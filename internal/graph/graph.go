@@ -240,10 +240,13 @@ func (g *Graph) TotalWeight() int64 {
 
 // Components returns the connected components as slices of vertex IDs,
 // each sorted ascending, ordered by their smallest vertex. Isolated
-// vertices form singleton components.
+// vertices form singleton components. The DFS visits neighbors in
+// sorted order so the whole traversal — not just the returned slices —
+// is independent of map layout.
 func (g *Graph) Components() [][]int {
 	seen := make([]bool, g.n)
 	var comps [][]int
+	var nbrs []int // per-vertex scratch, reused across pops
 	for s := 0; s < g.n; s++ {
 		if seen[s] {
 			continue
@@ -255,7 +258,12 @@ func (g *Graph) Components() [][]int {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, u)
+			nbrs = nbrs[:0]
 			for v := range g.adj[u] {
+				nbrs = append(nbrs, v)
+			}
+			sort.Ints(nbrs)
+			for _, v := range nbrs {
 				if !seen[v] {
 					seen[v] = true
 					stack = append(stack, v)
