@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint fmt-check test race bench-smoke bench-report merge-smoke determinism-smoke ci
+.PHONY: all build vet lint fmt-check test race bench-smoke bench-report merge-smoke determinism-smoke serve-smoke ci
 
 all: ci
 
@@ -63,4 +63,10 @@ determinism-smoke:
 		diff -u "$$a" "$$b"; exit 1; \
 	fi
 
-ci: fmt-check vet lint build race bench-smoke merge-smoke determinism-smoke
+# End-to-end service smoke: boot dwmserved on a kernel-chosen port,
+# submit the same job twice, require byte-identical results, and check
+# SIGTERM drains with exit 0.
+serve-smoke:
+	@GO="$(GO)" sh scripts/serve_smoke.sh
+
+ci: fmt-check vet lint build race bench-smoke merge-smoke determinism-smoke serve-smoke

@@ -1,0 +1,97 @@
+// Command dwmserved is the placement service: an HTTP/JSON daemon that
+// accepts trace uploads, runs placement jobs on a bounded worker pool,
+// and serves results, health, and metrics. See internal/serve for the
+// API and DESIGN.md §10 for the architecture.
+//
+// Usage:
+//
+//	dwmserved [-addr 127.0.0.1:8080] [-queue 16] [-workers 2]
+//	          [-deadline 0] [-max-deadline 0] [-drain 30s]
+//	          [-addrfile path]
+//
+// The daemon runs until SIGINT or SIGTERM, then shuts down gracefully:
+// readiness flips to 503 immediately, accepted jobs drain to completion
+// (bounded by -drain), and only then does the listener close. With
+// -addrfile the bound address is written to the given file once the
+// listener is up, so scripts can use -addr 127.0.0.1:0 and discover the
+// kernel-chosen port.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dwmserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until ctx is cancelled (the signal
+// handler in main) and the subsequent graceful drain completes.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dwmserved", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	addrFile := fs.String("addrfile", "", "write the bound address to this file once listening")
+	queueCap := fs.Int("queue", 0, "job queue capacity (0 = default 16)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = default 2)")
+	deadline := fs.Duration("deadline", 0, "default per-job execution deadline (0 = unlimited)")
+	maxDeadline := fs.Duration("max-deadline", 0, "cap on per-request deadlines (0 = uncapped)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Options{
+		QueueCap:        *queueCap,
+		Workers:         *workers,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "dwmserved: listening on %s\n", ln.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+
+	serveErr := make(chan error, 1)
+	//dwmlint:ignore barego the accept loop must run beside the signal wait; its only output is the error funneled through serveErr, collected below before return
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// Listener failed before any shutdown signal.
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "dwmserved: shutdown signal received, draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "dwmserved: drained, bye")
+	return nil
+}

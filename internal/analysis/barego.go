@@ -19,9 +19,13 @@ var BareGo = &Analyzer{
 }
 
 // bareGoAllowedFiles maps package path to the file hosting the approved
-// worker-pool implementation.
+// worker-pool implementation: the bench runner's parMap and the serve
+// job pool, which preserves determinism the same way (workers are
+// interchangeable channel consumers; results are pure functions of the
+// job request).
 var bareGoAllowedFiles = map[string]string{
 	"repro/internal/bench": "runner.go",
+	"repro/internal/serve": "server.go",
 }
 
 func runBareGo(pass *Pass) error {

@@ -19,6 +19,7 @@ import (
 	"go/token"
 	"go/types"
 	"io"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
@@ -96,6 +97,11 @@ func (l *Loader) list(patterns []string) ([]string, error) {
 	args := append([]string{"list", "-deps", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = l.dir
+	// Analyze the pure-Go build configuration: with cgo enabled, net
+	// (pulled in by net/http) imports "C", which a source-only type
+	// checker cannot follow. CGO_ENABLED=0 selects the pure-Go variants
+	// of those packages without changing anything this module compiles.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr

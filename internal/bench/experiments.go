@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -27,9 +28,26 @@ type Config struct {
 	// Timeout bounds the wall time of each individual experiment under
 	// RunContext/RunParallel; 0 means no limit. An experiment exceeding
 	// it fails with a timeout error on its own RunResult while its
-	// siblings run to completion (the overrunning goroutine is abandoned
-	// — experiments are pure, so no shared state is left behind).
+	// siblings run to completion. The runner also threads the timeout
+	// into Context, so cancellation-aware stages (core.AnnealContext)
+	// stop promptly instead of being abandoned mid-flight.
 	Timeout time.Duration
+
+	// ctx is installed by the runner before an experiment executes, so
+	// long-running stages inside the experiment can observe the runner's
+	// cancellation and per-experiment timeout. Experiments read it via
+	// Context; it is never set by callers directly.
+	ctx context.Context
+}
+
+// Context returns the cancellation context the runner installed for
+// this experiment execution, or a background context when the
+// experiment runs outside the runner (direct calls in tests).
+func (cfg Config) Context() context.Context {
+	if cfg.ctx != nil {
+		return cfg.ctx
+	}
+	return context.Background()
 }
 
 // DefaultConfig returns the configuration used for EXPERIMENTS.md.
@@ -355,7 +373,7 @@ func E5OptimalityGap(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, ac, err := core.GreedyAnneal(g, core.AnnealOptions{Seed: cfg.Seed})
+		_, ac, err := core.GreedyAnnealContext(cfg.Context(), g, core.AnnealOptions{Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -561,7 +579,7 @@ func E8Runtime(cfg Config) (*Table, error) {
 		t.Rows = append(t.Rows, []string{"greedy+2opt(w8)", itoa(int64(n)), f2(float64(tt.Microseconds()) / 1e3), itoa(tc)})
 
 		start = time.Now()
-		_, ac, err := core.Anneal(g, gp, core.AnnealOptions{Seed: cfg.Seed, Iterations: 100 * n})
+		_, ac, err := core.AnnealContext(cfg.Context(), g, gp, core.AnnealOptions{Seed: cfg.Seed, Iterations: 100 * n})
 		if err != nil {
 			return nil, err
 		}
@@ -682,7 +700,7 @@ func E9Ablation(cfg Config) (*Table, error) {
 
 		// Annealing cooling factor.
 		for _, cool := range []float64{0.90, 0.97, 0.99} {
-			_, c, err := core.Anneal(gr, base, core.AnnealOptions{Seed: cfg.Seed, Cooling: cool})
+			_, c, err := core.AnnealContext(cfg.Context(), gr, base, core.AnnealOptions{Seed: cfg.Seed, Cooling: cool})
 			if err != nil {
 				return nil, err
 			}

@@ -203,8 +203,19 @@ func RunContext(ctx context.Context, cfg Config, exps ...Experiment) ([]RunResul
 
 // runOne executes a single experiment with panic recovery and the
 // per-experiment timeout, charging its wall time to the runner timer.
+// The timeout is also threaded into the experiment's Config.Context, so
+// cancellation-aware stages (core.AnnealContext) unwind promptly; the
+// select below stays as the backstop for stages that never look at the
+// context.
 func runOne(ctx context.Context, cfg Config, e Experiment) RunResult {
 	start := time.Now()
+	ectx := ctx
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ectx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	cfg.ctx = ectx
 	type outcome struct {
 		tbl *Table
 		err error

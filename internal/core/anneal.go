@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -13,14 +14,20 @@ import (
 )
 
 // Annealer instrumentation (see internal/obs): proposed iterations,
-// accepted moves, chains run, and how often a restart chain (index > 0)
-// beat the primary chain.
+// accepted moves, chains run, how often a restart chain (index > 0)
+// beat the primary chain, and chains cut short by cancellation.
 var (
 	obsIters       = obs.GetCounter("core.anneal.iterations")
 	obsAccepted    = obs.GetCounter("core.anneal.accepted_moves")
 	obsChains      = obs.GetCounter("core.anneal.chains")
 	obsRestartWins = obs.GetCounter("core.anneal.restart_wins")
+	obsInterrupted = obs.GetCounter("core.anneal.interrupted")
 )
+
+// cancelCheckEvery is how many proposals a chain runs between
+// context-cancellation checks. ctx.Err() is an atomic load, so the
+// check is cheap, but batching it keeps it out of the per-swap path.
+const cancelCheckEvery = 1024
 
 // AnnealOptions tunes simulated annealing.
 type AnnealOptions struct {
@@ -43,15 +50,40 @@ type AnnealOptions struct {
 	// byte-identical to a single plain run — and chain i > 0 anneals
 	// with a seed derived from (Seed, i).
 	Restarts int
+	// Checkpoint, when non-nil, periodically receives a copy of the
+	// best placement found so far and its cost, so a caller can persist
+	// partial progress (the serving layer's crash/resume story). It is
+	// invoked at most once per CheckpointEvery proposals per chain, and
+	// only when the best improved since the last call. With Restarts > 1
+	// the chains run concurrently, so the callback must be safe for
+	// concurrent use and tolerate out-of-order costs (keep the min).
+	Checkpoint func(p layout.Placement, cost int64)
+	// CheckpointEvery is the proposal interval between Checkpoint calls;
+	// 0 selects 4096.
+	CheckpointEvery int
 }
 
 // Anneal refines a placement by simulated annealing over item swaps under
 // the Linear objective. It returns the best placement visited and its
-// cost. The input placement is not mutated.
+// cost. The input placement is not mutated. Anneal is AnnealContext with
+// a background context.
 func Anneal(g *graph.Graph, p layout.Placement, opts AnnealOptions) (layout.Placement, int64, error) {
+	return AnnealContext(context.Background(), g, p, opts)
+}
+
+// AnnealContext is Anneal with cooperative cancellation. The context is
+// checked between restart chains and every cancelCheckEvery proposals
+// inside a chain. When ctx is cancelled (or its deadline passes) the
+// search stops early and returns the best placement visited so far —
+// a valid, never-worse-than-input placement — together with its cost
+// and an error wrapping ctx.Err(). Callers that want the partial result
+// must therefore check the returned placement before discarding on
+// error: placement != nil with errors.Is(err, ctx.Err()) means
+// "interrupted but usable".
+func AnnealContext(ctx context.Context, g *graph.Graph, p layout.Placement, opts AnnealOptions) (layout.Placement, int64, error) {
 	c := g.Freeze()
 	if opts.Restarts <= 1 {
-		return annealChain(c, p, opts)
+		return annealChain(ctx, c, p, opts)
 	}
 	type outcome struct {
 		p   layout.Placement
@@ -70,19 +102,26 @@ func Anneal(g *graph.Graph, p layout.Placement, opts AnnealOptions) (layout.Plac
 			if i > 0 {
 				chainOpts.Seed = deriveSeed(opts.Seed, i)
 			}
-			p, c, err := annealChain(c, p, chainOpts)
+			p, c, err := annealChain(ctx, c, p, chainOpts)
 			results[i] = outcome{p: p, c: c, err: err}
 		}(i)
 	}
 	wg.Wait()
+	// Pick the winner among every chain that produced a placement.
+	// Interrupted chains return valid partial placements alongside their
+	// context error; only a chain with no placement at all is fatal.
 	var best layout.Placement
 	var bestCost int64
+	var ctxErr error
 	win := 0
 	for i, r := range results {
-		if r.err != nil {
+		if r.err != nil && r.p == nil {
 			return nil, 0, r.err
 		}
-		if i == 0 || r.c < bestCost {
+		if r.err != nil && ctxErr == nil {
+			ctxErr = r.err
+		}
+		if best == nil || r.c < bestCost {
 			best, bestCost = r.p, r.c
 			win = i
 		}
@@ -90,7 +129,7 @@ func Anneal(g *graph.Graph, p layout.Placement, opts AnnealOptions) (layout.Plac
 	if win > 0 {
 		obsRestartWins.Inc()
 	}
-	return best, bestCost, nil
+	return best, bestCost, ctxErr
 }
 
 // deriveSeed maps (seed, index) to an independent chain seed with a
@@ -107,8 +146,10 @@ func deriveSeed(seed int64, i int) int64 {
 	return int64(z)
 }
 
-// annealChain is one simulated-annealing run over the frozen graph.
-func annealChain(c *graph.CSR, p layout.Placement, opts AnnealOptions) (layout.Placement, int64, error) {
+// annealChain is one simulated-annealing run over the frozen graph. On
+// cancellation it returns the best-so-far placement together with an
+// error wrapping ctx.Err().
+func annealChain(ctx context.Context, c *graph.CSR, p layout.Placement, opts AnnealOptions) (layout.Placement, int64, error) {
 	ev, err := cost.NewEvaluatorCSR(c, p)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: Anneal: %w", err)
@@ -145,11 +186,39 @@ func annealChain(c *graph.CSR, p layout.Placement, opts AnnealOptions) (layout.P
 		}
 		temp = sum/float64(samples) + 1
 	}
+	ckptEvery := opts.CheckpointEvery
+	if ckptEvery <= 0 {
+		ckptEvery = 4096
+	}
 
 	best := ev.Placement()
 	bestCost := ev.Cost()
+	ckptCost := bestCost
 	accepted := int64(0) // batched into the shared counter after the loop
+	finish := func(done int, interrupted error) (layout.Placement, int64, error) {
+		obsChains.Inc()
+		obsIters.Add(int64(done))
+		obsAccepted.Add(accepted)
+		if interrupted != nil {
+			obsInterrupted.Inc()
+			return best, bestCost, fmt.Errorf("core: anneal interrupted after %d/%d iterations: %w",
+				done, iters, interrupted)
+		}
+		return best, bestCost, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return finish(0, err)
+	}
 	for i := 0; i < iters; i++ {
+		if i%cancelCheckEvery == cancelCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return finish(i, err)
+			}
+		}
+		if opts.Checkpoint != nil && i%ckptEvery == ckptEvery-1 && bestCost < ckptCost {
+			ckptCost = bestCost
+			opts.Checkpoint(best.Clone(), bestCost)
+		}
 		u, v := rng.Intn(n), rng.Intn(n)
 		if u == v {
 			continue
@@ -170,19 +239,25 @@ func annealChain(c *graph.CSR, p layout.Placement, opts AnnealOptions) (layout.P
 			}
 		}
 	}
-	obsChains.Inc()
-	obsIters.Add(int64(iters))
-	obsAccepted.Add(accepted)
-	return best, bestCost, nil
+	if opts.Checkpoint != nil && bestCost < ckptCost {
+		opts.Checkpoint(best.Clone(), bestCost)
+	}
+	return finish(iters, nil)
 }
 
 // GreedyAnneal runs greedy chain construction followed by simulated
 // annealing, the slower but occasionally stronger alternative to
 // GreedyTwoOpt.
 func GreedyAnneal(g *graph.Graph, opts AnnealOptions) (layout.Placement, int64, error) {
+	return GreedyAnnealContext(context.Background(), g, opts)
+}
+
+// GreedyAnnealContext is GreedyAnneal with cooperative cancellation; see
+// AnnealContext for the partial-result contract.
+func GreedyAnnealContext(ctx context.Context, g *graph.Graph, opts AnnealOptions) (layout.Placement, int64, error) {
 	p, err := GreedyChain(g, SeedHeaviestEdge)
 	if err != nil {
 		return nil, 0, err
 	}
-	return Anneal(g, p, opts)
+	return AnnealContext(ctx, g, p, opts)
 }

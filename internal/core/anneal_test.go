@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/cost"
@@ -69,6 +72,106 @@ func TestAnnealRestartsNeverWorseThanSingle(t *testing.T) {
 	}
 	if got != mc {
 		t.Errorf("reported cost %d does not match placement cost %d", mc, got)
+	}
+}
+
+// Cancelling mid-run must return the best placement found so far — a
+// valid placement that beats the initial one — together with an error
+// wrapping the context's error. The cancellation is triggered from the
+// first checkpoint callback, so the test does not depend on timing: by
+// the time the context fires, at least one improvement is recorded.
+func TestAnnealContextCancelReturnsPartial(t *testing.T) {
+	g := annealTestGraph(t)
+	p := layout.Identity(g.N())
+	initial, err := cost.Linear(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var checkpoints int
+	partial, pc, err := AnnealContext(ctx, g, p, AnnealOptions{
+		Seed:            3,
+		Iterations:      10_000_000, // far more than the test ever runs
+		CheckpointEvery: 512,
+		Checkpoint: func(layout.Placement, int64) {
+			checkpoints++
+			cancel()
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if checkpoints == 0 {
+		t.Fatal("checkpoint callback never ran")
+	}
+	if partial == nil {
+		t.Fatal("no partial placement returned on cancel")
+	}
+	got, cerr := cost.Linear(g, partial)
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	if got != pc {
+		t.Errorf("reported partial cost %d does not match placement cost %d", pc, got)
+	}
+	if pc >= initial {
+		t.Errorf("partial cost %d does not beat initial placement %d", pc, initial)
+	}
+}
+
+// A context that is already expired yields the input placement back
+// (cost unchanged) instead of failing outright.
+func TestAnnealContextAlreadyCancelled(t *testing.T) {
+	g := annealTestGraph(t)
+	p := layout.Identity(g.N())
+	initial, err := cost.Linear(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, c, err := AnnealContext(ctx, g, p, AnnealOptions{Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got == nil || c != initial {
+		t.Fatalf("expired context returned placement %v cost %d, want input back at cost %d", got, c, initial)
+	}
+}
+
+// Restart chains interrupted by cancellation still produce the best
+// partial among every chain.
+func TestAnnealContextCancelWithRestarts(t *testing.T) {
+	g := annealTestGraph(t)
+	p := layout.Identity(g.N())
+	initial, err := cost.Linear(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	partial, pc, err := AnnealContext(ctx, g, p, AnnealOptions{
+		Seed:            5,
+		Iterations:      10_000_000,
+		Restarts:        4,
+		CheckpointEvery: 512,
+		Checkpoint: func(layout.Placement, int64) {
+			once.Do(cancel)
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if partial == nil {
+		t.Fatal("no partial placement returned on cancel")
+	}
+	if verr := partial.Validate(g.N()); verr != nil {
+		t.Fatalf("partial placement invalid: %v", verr)
+	}
+	if pc > initial {
+		t.Errorf("partial cost %d worse than initial %d", pc, initial)
 	}
 }
 

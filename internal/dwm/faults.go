@@ -68,8 +68,28 @@ func (t *Tape) applyFaults(d int) int {
 	return disp
 }
 
+// deriveTapeSeed maps (seed, tape index) to an independent per-tape RNG
+// seed with a splitmix64 finalizer — the same derivation scheme the
+// bench harness (bench.DeriveSeed) and the annealer's restart chains
+// use. Each tape's error process is a pure function of (seed, index):
+// statistically independent streams, stable across runs, and
+// independent of the order tapes are accessed in.
+func deriveTapeSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
 // EnableFaults activates the fault model on every tape of the device,
-// deriving per-tape seeds so tapes fault independently.
+// deriving per-tape seeds (splitmix64 over (Seed, tape index)) so tapes
+// fault independently: sharing one seed across tapes would correlate
+// their error processes, and a plain additive offset leaves nearby
+// streams correlated through the LCG's low bits. Multi-tape fault runs
+// are therefore deterministic and tape-order-independent.
 func (d *Device) EnableFaults(f FaultModel) error {
 	if err := f.Validate(); err != nil {
 		return err
@@ -77,7 +97,7 @@ func (d *Device) EnableFaults(f FaultModel) error {
 	for i, t := range d.tapes {
 		tf := f
 		if tf.Prob > 0 {
-			tf.Seed = f.Seed + int64(i)*0x9E3779B9
+			tf.Seed = deriveTapeSeed(f.Seed, i)
 		}
 		if err := t.EnableFaults(tf); err != nil {
 			return err

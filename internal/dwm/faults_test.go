@@ -145,6 +145,63 @@ func TestDeviceEnableFaults(t *testing.T) {
 	}
 }
 
+func TestDeriveTapeSeedDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 256; i++ {
+		s := deriveTapeSeed(7, i)
+		if seen[s] {
+			t.Fatalf("derived seed collision at tape %d", i)
+		}
+		seen[s] = true
+	}
+	if deriveTapeSeed(7, 3) != deriveTapeSeed(7, 3) {
+		t.Error("deriveTapeSeed not stable")
+	}
+	if deriveTapeSeed(7, 3) == deriveTapeSeed(8, 3) {
+		t.Error("deriveTapeSeed ignores the base seed")
+	}
+}
+
+// Each tape's error process is a pure function of (device seed, tape
+// index): interleaving accesses across tapes in different orders must
+// leave every tape with identical per-tape shift and fault counters.
+func TestDeviceFaultsTapeOrderIndependent(t *testing.T) {
+	const tapes, slots, accesses = 4, 32, 120
+	run := func(interleaved bool) []Counters {
+		d := mustDevice(t, Geometry{Tapes: tapes, DomainsPerTape: slots, PortsPerTape: 1})
+		if err := d.EnableFaults(FaultModel{Prob: 0.1, Seed: 9}); err != nil {
+			t.Fatal(err)
+		}
+		// The same per-tape slot sequence either tape-by-tape or
+		// round-robin across tapes.
+		slotAt := func(tape, i int) int { return (i*7 + tape*3) % slots }
+		if interleaved {
+			for i := 0; i < accesses; i++ {
+				for tp := 0; tp < tapes; tp++ {
+					if _, _, err := d.Read(Address{Tape: tp, Slot: slotAt(tp, i)}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		} else {
+			for tp := tapes - 1; tp >= 0; tp-- {
+				for i := 0; i < accesses; i++ {
+					if _, _, err := d.Read(Address{Tape: tp, Slot: slotAt(tp, i)}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		return d.TapeCounters()
+	}
+	a, b := run(true), run(false)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("tape %d counters depend on access order: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
 // Property: after any access on a faulty tape, the requested slot is
 // genuinely aligned (offset equals slot - chosen port) — corrections
 // always complete.

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition of a Snapshot, the payload of dwmserved's
+// GET /metrics. Instrument names use dots as namespace separators
+// ("core.anneal.iterations"); the exposition sanitizes them to the
+// Prometheus grammar ("core_anneal_iterations") and prefixes everything
+// with "dwm_" so the scrape namespace is unambiguous. Timers expand to
+// three series: <name>_count and <name>_total_ns (counters) and
+// <name>_max_ns (a gauge, since Reset can move it down).
+
+// promName sanitizes an instrument name to a legal Prometheus metric
+// name: [a-zA-Z_:][a-zA-Z0-9_:]*, with the project prefix applied.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("dwm_")
+	for _, r := range name {
+		switch {
+		// The dwm_ prefix already provides the required non-digit first
+		// character, so digits pass through at any position.
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sortedKeys returns the map's keys in lexical order, the exposition's
+// (and the text Format's) deterministic ordering.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): a # TYPE line per metric followed by its
+// sample, in lexical instrument order.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	emit := func(name, typ string, value int64) error {
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, typ, name, value)
+		return err
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		if err := emit(promName(name), "counter", s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if err := emit(promName(name), "gauge", s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Timers) {
+		st := s.Timers[name]
+		base := promName(name)
+		if err := emit(base+"_count", "counter", st.Count); err != nil {
+			return err
+		}
+		if err := emit(base+"_total_ns", "counter", st.TotalNS); err != nil {
+			return err
+		}
+		if err := emit(base+"_max_ns", "gauge", st.MaxNS); err != nil {
+			return err
+		}
+	}
+	return nil
+}

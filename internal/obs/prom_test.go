@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"core.anneal.iterations": "dwm_core_anneal_iterations",
+		"serve.queue.depth":      "dwm_serve_queue_depth",
+		"a-b c":                  "dwm_a_b_c",
+		"9lives":                 "dwm_9lives",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.jobs.accepted").Add(3)
+	r.Gauge("serve.queue.depth").Set(2)
+	r.Timer("serve.job.wall").Observe(5 * time.Millisecond)
+	var b strings.Builder
+	if err := r.Snapshot().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE dwm_serve_jobs_accepted counter\ndwm_serve_jobs_accepted 3\n",
+		"# TYPE dwm_serve_queue_depth gauge\ndwm_serve_queue_depth 2\n",
+		"# TYPE dwm_serve_job_wall_count counter\ndwm_serve_job_wall_count 1\n",
+		"# TYPE dwm_serve_job_wall_total_ns counter\ndwm_serve_job_wall_total_ns 5000000\n",
+		"# TYPE dwm_serve_job_wall_max_ns gauge\ndwm_serve_job_wall_max_ns 5000000\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// The exposition is deterministic: same snapshot, same bytes.
+func TestWritePromDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"b.z", "a.x", "a.y"} {
+		r.Counter(n).Inc()
+		r.Gauge(n + ".g").Set(1)
+	}
+	s := r.Snapshot()
+	var first string
+	for i := 0; i < 5; i++ {
+		var b strings.Builder
+		if err := s.WriteProm(&b); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = b.String()
+		} else if b.String() != first {
+			t.Fatal("exposition order unstable across renders")
+		}
+	}
+	if !strings.Contains(first, "dwm_a_x") || strings.Index(first, "dwm_a_x") > strings.Index(first, "dwm_b_z") {
+		t.Errorf("counters not in lexical order:\n%s", first)
+	}
+}

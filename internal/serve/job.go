@@ -1,0 +1,295 @@
+// Package serve is the placement service behind cmd/dwmserved: an
+// HTTP/JSON front end that turns trace uploads into placement jobs and
+// runs them on a bounded, panic-isolated worker pool.
+//
+// The design goals, in order:
+//
+//   - Determinism. A job's result is a pure function of its request —
+//     the effective annealing seed is derived from (request seed, trace
+//     identity) with bench.DeriveSeed, never from worker identity or
+//     scheduling — so two identical submissions return byte-identical
+//     placements no matter which worker picks them up.
+//   - Backpressure. The job queue is bounded; a submission that does
+//     not fit is rejected immediately with 429 and a Retry-After hint
+//     instead of growing an unbounded backlog. A job that was accepted
+//     is never dropped: shutdown drains the queue before the process
+//     exits.
+//   - Graceful degradation. Jobs checkpoint their best-so-far placement
+//     while annealing. A job cut short — per-request deadline, client
+//     cancellation, shutdown — returns the checkpoint as a valid
+//     partial result (marked "partial": true) instead of nothing, and a
+//     later submission can resume from it.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/layout"
+	"repro/internal/trace"
+)
+
+// PolicyAnneal is the default (and only cancellable) policy: the
+// proposed multi-start pipeline refined by simulated annealing.
+const PolicyAnneal = "anneal"
+
+// PlaceRequest is the body of POST /v1/place.
+type PlaceRequest struct {
+	// Trace is the access trace in the dwmtrace text format.
+	Trace string `json:"trace"`
+	// Policy selects the placement strategy; empty selects "anneal".
+	// Any name from the core policy set is accepted, but only the
+	// anneal family supports deadlines, checkpointing, and resume (the
+	// constructive policies run to completion in milliseconds).
+	Policy string `json:"policy,omitempty"`
+	// Seed drives every randomized component. Equal requests with equal
+	// seeds produce byte-identical placements.
+	Seed int64 `json:"seed,omitempty"`
+	// Iterations and Restarts tune the annealing stage; zero selects
+	// the defaults (see core.AnnealOptions).
+	Iterations int `json:"iterations,omitempty"`
+	Restarts   int `json:"restarts,omitempty"`
+	// DeadlineMS bounds the job's execution wall time in milliseconds;
+	// 0 selects the server default. A job that hits its deadline
+	// returns its best-so-far placement marked partial.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Resume names an earlier job whose checkpoint seeds this job's
+	// search, so a cancelled or deadline-cut job can be continued.
+	Resume string `json:"resume,omitempty"`
+}
+
+// TraceInfo summarizes the uploaded trace in job responses.
+type TraceInfo struct {
+	Name     string `json:"name"`
+	Accesses int    `json:"accesses"`
+	Items    int    `json:"items"`
+}
+
+// Result is the payload of a finished job.
+type Result struct {
+	Policy string `json:"policy"`
+	// Placement maps item ID to tape slot (compact, [0, items)).
+	Placement []int `json:"placement"`
+	// Cost is the Linear objective of Placement; BaselineCost is the
+	// same objective for the program-order baseline placement.
+	Cost         int64 `json:"cost"`
+	BaselineCost int64 `json:"baseline_cost"`
+	// Partial marks a result produced by a job that was cut short
+	// (deadline, cancellation, shutdown): the placement is valid and
+	// never worse than the baseline, but the search did not finish.
+	Partial bool `json:"partial"`
+}
+
+// JobStatus is the body of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID        string    `json:"id"`
+	Status    string    `json:"status"` // queued | running | done | failed
+	Trace     TraceInfo `json:"trace"`
+	Result    *Result   `json:"result,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	ElapsedMS int64     `json:"elapsed_ms,omitempty"`
+}
+
+// Job lifecycle states.
+const (
+	statusQueued  = "queued"
+	statusRunning = "running"
+	statusDone    = "done"
+	statusFailed  = "failed"
+)
+
+// job is one accepted placement request moving through the queue.
+type job struct {
+	id       string
+	req      PlaceRequest
+	tr       *trace.Trace
+	resume   layout.Placement // optional starting placement from a resumed job
+	enqueued time.Time        // set at acceptance, read for the queue-wait timer
+
+	mu        sync.Mutex
+	status    string
+	result    *Result
+	errMsg    string
+	elapsedMS int64
+	canceled  bool
+	cancel    context.CancelFunc // set while running
+	ckpt      layout.Placement   // best-so-far, kept at min cost
+	ckptCost  int64
+}
+
+// recordCheckpoint keeps the lowest-cost placement seen so far. It is
+// the Checkpoint callback handed to the annealer, which may invoke it
+// concurrently from restart chains.
+func (j *job) recordCheckpoint(p layout.Placement, c int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.ckpt == nil || c < j.ckptCost {
+		j.ckpt, j.ckptCost = p, c
+	}
+}
+
+// best returns the job's best known placement — the final result when
+// finished, else the latest checkpoint — or nil when nothing has been
+// computed yet.
+func (j *job) best() (layout.Placement, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result != nil && j.result.Placement != nil {
+		return append(layout.Placement(nil), j.result.Placement...), true
+	}
+	if j.ckpt != nil {
+		return j.ckpt.Clone(), true
+	}
+	return nil, false
+}
+
+// snapshot renders the job's externally visible state.
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:     j.id,
+		Status: j.status,
+		Trace: TraceInfo{
+			Name:     j.tr.Name,
+			Accesses: j.tr.Len(),
+			Items:    j.tr.NumItems,
+		},
+		Result:    j.result,
+		Error:     j.errMsg,
+		ElapsedMS: j.elapsedMS,
+	}
+}
+
+// requestCancel cancels a running job, or marks a queued one so it
+// yields its seed placement as a partial result the moment a worker
+// picks it up.
+func (j *job) requestCancel() {
+	j.mu.Lock()
+	cancel := j.cancel
+	j.canceled = true
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// parseTrace decodes and validates the request's embedded trace.
+func parseTrace(req PlaceRequest) (*trace.Trace, error) {
+	if strings.TrimSpace(req.Trace) == "" {
+		return nil, fmt.Errorf("missing trace")
+	}
+	tr, err := trace.Decode(strings.NewReader(req.Trace))
+	if err != nil {
+		return nil, err
+	}
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("trace has no accesses")
+	}
+	return tr, nil
+}
+
+// validPolicy reports whether the request's policy name is servable.
+func validPolicy(name string) bool {
+	if name == "" || name == PolicyAnneal {
+		return true
+	}
+	for _, n := range core.PolicyNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// effectiveSeed derives the seed the job's randomized stages use. It is
+// a pure function of the request — seed and trace identity — so results
+// are byte-identical regardless of which worker runs the job, while the
+// splitmix finalizer in bench.DeriveSeed decorrelates service streams
+// from the CLI/benchmark streams that share the same user seed.
+func effectiveSeed(req PlaceRequest, tr *trace.Trace) int64 {
+	return bench.DeriveSeed(req.Seed, "serve/"+tr.Name, tr.Len())
+}
+
+// execute computes the job's placement. It is a pure function of
+// (request, resume placement); ctx cuts the annealing stage short, in
+// which case the best-so-far placement comes back marked Partial. The
+// checkpoint callback receives best-so-far placements as the search
+// progresses (it must be safe for concurrent use).
+func execute(ctx context.Context, req PlaceRequest, tr *trace.Trace, resume layout.Placement, checkpoint func(layout.Placement, int64)) (*Result, error) {
+	g, err := graph.FromTrace(tr)
+	if err != nil {
+		return nil, err
+	}
+	base, err := core.ProgramOrder(tr)
+	if err != nil {
+		return nil, err
+	}
+	baseCost, err := cost.Linear(g, base)
+	if err != nil {
+		return nil, err
+	}
+	seed := effectiveSeed(req, tr)
+
+	policy := req.Policy
+	if policy == "" {
+		policy = PolicyAnneal
+	}
+	if policy != PolicyAnneal {
+		pol, err := core.PolicyByName(policy, seed)
+		if err != nil {
+			return nil, err
+		}
+		p, err := pol.Place(tr, g)
+		if err != nil {
+			return nil, err
+		}
+		c, err := cost.Linear(g, p)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Policy: policy, Placement: p, Cost: c, BaselineCost: baseCost}, nil
+	}
+
+	// Anneal path: start from the resumed checkpoint when one was
+	// supplied, else from the proposed pipeline (which seeds with
+	// program order, so the start — and therefore every best-so-far
+	// checkpoint — is never worse than the baseline).
+	start := resume
+	if start == nil {
+		p, _, err := core.Propose(tr, g)
+		if err != nil {
+			return nil, err
+		}
+		start = p
+	}
+	startCost, err := cost.Linear(g, start)
+	if err != nil {
+		return nil, err
+	}
+	// Record the starting point immediately: even a job cancelled
+	// before its first annealing checkpoint has a valid best-so-far.
+	checkpoint(start.Clone(), startCost)
+
+	p, c, err := core.AnnealContext(ctx, g, start, core.AnnealOptions{
+		Seed:       seed,
+		Iterations: req.Iterations,
+		Restarts:   req.Restarts,
+		Checkpoint: checkpoint,
+	})
+	if err != nil {
+		if p != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return &Result{Policy: policy, Placement: p, Cost: c, BaselineCost: baseCost, Partial: true}, nil
+		}
+		return nil, err
+	}
+	return &Result{Policy: policy, Placement: p, Cost: c, BaselineCost: baseCost}, nil
+}

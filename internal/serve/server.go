@@ -1,0 +1,417 @@
+package serve
+
+// This file is the impure half of the service: the bounded queue, the
+// worker pool, the HTTP surface, and graceful shutdown. It is the
+// package's only file that reads the wall clock or launches goroutines;
+// both dwmlint exemptions (walltime, barego) are granted to this file
+// alone via the analyzer allowlists, mirroring bench/runner.go. The
+// worker pool preserves the determinism contract the same way parMap
+// does: workers are interchangeable consumers of a channel, and every
+// job's result is a pure function of its request (see job.go), so
+// scheduling never influences a placement.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Service instrumentation (see internal/obs), exposed over GET /metrics
+// in the Prometheus text format.
+var (
+	obsAccepted   = obs.GetCounter("serve.jobs.accepted")
+	obsRejected   = obs.GetCounter("serve.jobs.rejected")
+	obsDone       = obs.GetCounter("serve.jobs.done")
+	obsFailed     = obs.GetCounter("serve.jobs.failed")
+	obsPartial    = obs.GetCounter("serve.jobs.partial")
+	obsPanics     = obs.GetCounter("serve.panics_recovered")
+	obsQueueDepth = obs.GetGauge("serve.queue.depth")
+	obsRunning    = obs.GetGauge("serve.jobs.running")
+	obsQueueWait  = obs.GetTimer("serve.job.queue_wait")
+	obsJobWall    = obs.GetTimer("serve.job.wall")
+)
+
+// Options configures a Server. The zero value selects the defaults.
+type Options struct {
+	// QueueCap bounds the number of accepted-but-not-yet-running jobs;
+	// a submission that does not fit is rejected with 429 and a
+	// Retry-After hint. 0 selects 16.
+	QueueCap int
+	// Workers is the size of the job worker pool; 0 selects 2.
+	Workers int
+	// DefaultDeadline bounds a job's execution wall time when the
+	// request does not set deadline_ms; 0 means no default limit.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps the per-request deadline; 0 means no cap.
+	MaxDeadline time.Duration
+	// RetryAfter is the hint returned with 429 responses; 0 selects 1s.
+	RetryAfter time.Duration
+}
+
+func (o Options) queueCap() int {
+	if o.QueueCap > 0 {
+		return o.QueueCap
+	}
+	return 16
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return 2
+}
+
+func (o Options) retryAfterSeconds() int {
+	ra := o.RetryAfter
+	if ra <= 0 {
+		ra = time.Second
+	}
+	secs := int((ra + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// deadlineFor resolves a request's effective execution deadline.
+func (o Options) deadlineFor(req PlaceRequest) time.Duration {
+	d := time.Duration(req.DeadlineMS) * time.Millisecond
+	if d <= 0 {
+		d = o.DefaultDeadline
+	}
+	if o.MaxDeadline > 0 && (d <= 0 || d > o.MaxDeadline) {
+		d = o.MaxDeadline
+	}
+	return d
+}
+
+// Server is the placement service: a bounded job queue, a fixed worker
+// pool, and the HTTP handlers of cmd/dwmserved.
+type Server struct {
+	opts    Options
+	mux     *http.ServeMux
+	httpSrv *http.Server
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	queue     chan *job
+	accepting bool
+	isReady   bool
+	nextID    int64
+	wg        sync.WaitGroup // worker pool
+}
+
+// New builds a Server and starts its worker pool. Callers must
+// eventually call Shutdown to drain the pool, even when Serve is never
+// invoked (tests driving the handlers directly).
+func New(opts Options) *Server {
+	s := &Server{
+		opts:      opts,
+		mux:       http.NewServeMux(),
+		jobs:      make(map[string]*job),
+		queue:     make(chan *job, opts.queueCap()),
+		accepting: true,
+		isReady:   true,
+	}
+	s.mux.HandleFunc("POST /v1/place", s.handlePlace)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.Default().Snapshot().WriteProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	s.httpSrv = &http.Server{Handler: s.mux}
+	for i := 0; i < opts.workers(); i++ {
+		s.wg.Add(1)
+		//dwmlint:ignore barego worker pool goroutines mirror parMap: interchangeable consumers of one channel, results are pure functions of the job request, and Shutdown closes the channel and waits on the WaitGroup
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler, for tests and embedding.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown completes. A graceful
+// shutdown returns nil.
+func (s *Server) Serve(ln net.Listener) error {
+	err := s.httpSrv.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the service: readiness flips to 503 immediately, new
+// submissions are refused, queued and in-flight jobs run to completion
+// (an accepted job is never dropped), and the HTTP listener closes once
+// the pool is idle. ctx bounds the wait; on expiry the remaining jobs
+// are cancelled — they unwind at their next cancellation check and
+// finish with their best-so-far placement marked partial — and ctx's
+// error is returned to signal the blown budget.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.isReady = false
+	if s.accepting {
+		s.accepting = false
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	//dwmlint:ignore barego shutdown helper: signals worker-pool drain completion so the wait can race the caller's deadline; no result state escapes it
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	var drainErr error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+		// Budget blown: cut every remaining job short. Running jobs
+		// unwind within one cancellation-check interval; still-queued
+		// jobs yield their starting placement the moment a worker pops
+		// them. Both finish as valid partials, so the drain below is
+		// bounded even though the budget is spent.
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.requestCancel()
+		}
+		s.mu.Unlock()
+		<-drained
+	}
+	if err := s.httpSrv.Shutdown(ctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	return drainErr
+}
+
+// handleReady is the readiness probe: 200 while accepting work, 503
+// from the instant shutdown begins.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ready := s.isReady
+	s.mu.Unlock()
+	if !ready {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// handlePlace accepts a placement job: 202 with the job ID on success,
+// 400 on invalid input, 429 with Retry-After when the queue is full,
+// 503 once shutdown has begun.
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	var req PlaceRequest
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid request body: " + err.Error()})
+		return
+	}
+	tr, err := parseTrace(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if !validPolicy(req.Policy) {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("unknown policy %q", req.Policy)})
+		return
+	}
+	var resume []int
+	if req.Resume != "" {
+		prev, ok := s.lookup(req.Resume)
+		if !ok {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("resume: unknown job %q", req.Resume)})
+			return
+		}
+		best, ok := prev.best()
+		if !ok {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("resume: job %q has no checkpoint yet", req.Resume)})
+			return
+		}
+		if len(best) != tr.NumItems {
+			writeJSON(w, http.StatusBadRequest, apiError{
+				Error: fmt.Sprintf("resume: job %q covers %d items, trace has %d", req.Resume, len(best), tr.NumItems)})
+			return
+		}
+		resume = best
+	}
+
+	s.mu.Lock()
+	if !s.accepting {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
+		return
+	}
+	s.nextID++
+	j := &job{
+		id:       fmt.Sprintf("job-%06d", s.nextID),
+		req:      req,
+		tr:       tr,
+		resume:   resume,
+		status:   statusQueued,
+		enqueued: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.mu.Unlock()
+	default:
+		// Queue full: shed load now rather than queueing unboundedly.
+		// The ID just minted is simply skipped.
+		s.mu.Unlock()
+		obsRejected.Inc()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.opts.retryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, apiError{
+			Error: fmt.Sprintf("queue full (%d jobs); retry later", s.opts.queueCap())})
+		return
+	}
+	obsAccepted.Inc()
+	obsQueueDepth.Add(1)
+	writeJSON(w, http.StatusAccepted, JobStatus{
+		ID:     j.id,
+		Status: statusQueued,
+		Trace:  TraceInfo{Name: tr.Name, Accesses: tr.Len(), Items: tr.NumItems},
+	})
+}
+
+// lookup finds a job by ID.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// handleJob reports a job's status and, when finished, its result.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleCancel cancels a job. A running job unwinds at its next
+// cancellation check and completes with its best-so-far placement
+// marked partial; a queued job yields its starting placement the moment
+// a worker picks it up. Either way the accepted job still produces a
+// valid result.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	j.requestCancel()
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// worker consumes jobs until the queue closes at shutdown, draining
+// whatever was accepted.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job with panic isolation: a panic inside the
+// placement pipeline fails that job (with its stack) and the worker
+// survives to serve the next one — the bench.RunContext recovery
+// pattern.
+func (s *Server) runJob(j *job) {
+	obsQueueDepth.Add(-1)
+	start := time.Now()
+
+	base := context.Background()
+	var cancels []context.CancelFunc
+	if d := s.opts.deadlineFor(j.req); d > 0 {
+		ctx, cancel := context.WithTimeout(base, d)
+		base, cancels = ctx, append(cancels, cancel)
+	}
+	ctx, cancel := context.WithCancel(base)
+	cancels = append(cancels, cancel)
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	obsQueueWait.Observe(start.Sub(j.enqueued))
+	j.mu.Lock()
+	j.status = statusRunning
+	j.cancel = cancel
+	if j.canceled {
+		cancel()
+	}
+	j.mu.Unlock()
+	obsRunning.Add(1)
+	defer obsRunning.Add(-1)
+
+	finish := func(res *Result, errMsg string) {
+		elapsed := time.Since(start)
+		obsJobWall.Observe(elapsed)
+		j.mu.Lock()
+		j.elapsedMS = elapsed.Milliseconds()
+		j.cancel = nil
+		if errMsg != "" {
+			j.status = statusFailed
+			j.errMsg = errMsg
+			obsFailed.Inc()
+		} else {
+			j.status = statusDone
+			j.result = res
+			obsDone.Inc()
+			if res.Partial {
+				obsPartial.Inc()
+			}
+		}
+		j.mu.Unlock()
+	}
+
+	defer func() {
+		if r := recover(); r != nil {
+			obsPanics.Inc()
+			finish(nil, fmt.Sprintf("panic: %v\n%s", r, debug.Stack()))
+		}
+	}()
+
+	res, err := execute(ctx, j.req, j.tr, j.resume, j.recordCheckpoint)
+	if err != nil {
+		finish(nil, err.Error())
+		return
+	}
+	finish(res, "")
+}
