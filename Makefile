@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint fmt-check test race bench-smoke bench-report merge-smoke determinism-smoke serve-smoke ci
+.PHONY: all build vet lint fmt-check test race bench-smoke bench-report merge-smoke determinism-smoke serve-smoke obs-smoke ci
 
 all: ci
 
@@ -49,18 +49,27 @@ merge-smoke:
 	{ echo "merge-smoke: E1 entry lost after -only E5 run"; exit 1; }
 
 # The headline guarantee, checked end to end: the rendered tables of a
-# sequential run and an 8-worker run of the same seed must be
-# byte-identical. E8 is excluded because its wall-clock time column is
-# the experiment's output (see its dwmlint:ignore justification).
+# sequential run, an 8-worker run, and an 8-worker run with span tracing
+# enabled must all be byte-identical for the same seed. The traced run
+# proves the telemetry layer is inert — spans and histograms observe the
+# pipeline without perturbing a single result byte. E8 is excluded
+# because its wall-clock time column is the experiment's output (see its
+# dwmlint:ignore justification).
 DETERMINISTIC_EXPS = E1,E2,E3,E4,E5,E6,E7,E9,E10,E11,E12,E13,E14,E15,E16,E17,E18,E19,E20,E21,E22
 
 determinism-smoke:
-	@a="$$(mktemp)"; b="$$(mktemp)"; trap 'rm -f "$$a" "$$b"' EXIT; \
+	@a="$$(mktemp)"; b="$$(mktemp)"; c="$$(mktemp)"; t="$$(mktemp)"; \
+	trap 'rm -f "$$a" "$$b" "$$c" "$$t"' EXIT; \
 	$(GO) run ./cmd/dwmbench -seed 1 -workers 1 -only $(DETERMINISTIC_EXPS) > "$$a" && \
 	$(GO) run ./cmd/dwmbench -seed 1 -workers 8 -only $(DETERMINISTIC_EXPS) > "$$b" && \
+	$(GO) run ./cmd/dwmbench -seed 1 -workers 8 -only $(DETERMINISTIC_EXPS) -trace "$$t" > "$$c" 2>/dev/null && \
 	if ! cmp -s "$$a" "$$b"; then \
 		echo "determinism-smoke: workers=1 and workers=8 tables differ:"; \
 		diff -u "$$a" "$$b"; exit 1; \
+	fi; \
+	if ! cmp -s "$$a" "$$c"; then \
+		echo "determinism-smoke: tables differ with tracing enabled:"; \
+		diff -u "$$a" "$$c"; exit 1; \
 	fi
 
 # End-to-end service smoke: boot dwmserved on a kernel-chosen port,
@@ -69,4 +78,10 @@ determinism-smoke:
 serve-smoke:
 	@GO="$(GO)" sh scripts/serve_smoke.sh
 
-ci: fmt-check vet lint build race bench-smoke merge-smoke determinism-smoke serve-smoke
+# Observability smoke: dwmbench -trace yields a loadable trace without
+# changing a result byte, /metrics passes the promlint conformance
+# checker, and /debug/events + the job progress block work end to end.
+obs-smoke:
+	@GO="$(GO)" sh scripts/obs_smoke.sh
+
+ci: fmt-check vet lint build race bench-smoke merge-smoke determinism-smoke serve-smoke obs-smoke

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	dwmbench [-seed N] [-csv] [-md] [-only E2,E5] [-workers N] [-timeout D]
-//	         [-json FILE] [-metrics] [-cpuprofile FILE] [-memprofile FILE]
+//	         [-json FILE] [-metrics] [-trace FILE]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // Experiments execute on a worker pool of -workers goroutines (default
 // GOMAXPROCS; 1 forces sequential). Output is byte-identical for every
@@ -26,6 +27,12 @@
 // -metrics prints the observability snapshot (simulator, annealer, CSR
 // cache, and runner instruments) to stderr after the run. -cpuprofile
 // and -memprofile write pprof profiles for the whole invocation.
+//
+// -trace enables the span tracer for the run and writes the collected
+// spans at exit: Chrome trace_event JSON by default (load it in
+// Perfetto or chrome://tracing), or one span per line when the file
+// name ends in .jsonl. Tracing is observational only — tables are
+// byte-identical with and without it.
 package main
 
 import (
@@ -56,6 +63,7 @@ func main() {
 	flag.DurationVar(&opts.timeout, "timeout", 0, "per-experiment wall-time limit (0 = none)")
 	flag.StringVar(&opts.jsonPath, "json", "", "write a machine-readable benchmark report to this file")
 	flag.BoolVar(&opts.metrics, "metrics", false, "print the observability snapshot to stderr after the run")
+	flag.StringVar(&opts.tracePath, "trace", "", "collect spans and write a Chrome trace_event file (.jsonl = one span per line)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -103,13 +111,14 @@ func main() {
 
 // options carries the CLI flags into run.
 type options struct {
-	seed     int64
-	csv, md  bool
-	only     string
-	workers  int
-	timeout  time.Duration
-	jsonPath string
-	metrics  bool
+	seed      int64
+	csv, md   bool
+	only      string
+	workers   int
+	timeout   time.Duration
+	jsonPath  string
+	metrics   bool
+	tracePath string
 }
 
 // benchReport is the schema of the -json report (BENCH_dwmbench.json).
@@ -170,12 +179,20 @@ func run(ctx context.Context, opts options) error {
 		}
 	}
 
+	if opts.tracePath != "" {
+		// 128k spans ≈ 16 MiB of ring: enough for a full suite run (one
+		// span per anneal chain / sim run / experiment) without drops.
+		obs.EnableTracing(1 << 17)
+		defer obs.DisableTracing()
+	}
+
 	cfg := bench.Config{Seed: opts.seed, Workers: opts.workers, Timeout: opts.timeout}
 	results, runErr := bench.RunContext(ctx, cfg, selected...)
 
 	// Print every completed table, even when a sibling failed or the
 	// run was interrupted.
 	var out bytes.Buffer
+	_, renderSpan := obs.StartSpan(ctx, "bench.render")
 	for _, r := range results {
 		if r.Table == nil {
 			continue
@@ -196,12 +213,22 @@ func run(ctx context.Context, opts options) error {
 			}
 		}
 	}
+	renderSpan.SetAttr("experiments", len(results)).End()
 	if _, err := out.WriteTo(os.Stdout); err != nil {
 		return err
 	}
 
 	if opts.metrics {
 		fmt.Fprint(os.Stderr, obs.Take().Format())
+	}
+
+	if opts.tracePath != "" {
+		if err := writeTrace(opts.tracePath); err != nil {
+			if runErr != nil {
+				return errors.Join(runErr, err)
+			}
+			return err
+		}
 	}
 
 	if opts.jsonPath != "" {
@@ -213,6 +240,35 @@ func run(ctx context.Context, opts options) error {
 		}
 	}
 	return runErr
+}
+
+// writeTrace drains the span ring and writes it in the format the file
+// extension selects: .jsonl gets one span record per line, anything
+// else the Chrome trace_event array Perfetto loads directly.
+func writeTrace(path string) error {
+	spans, dropped := obs.DrainSpans()
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "dwmbench: trace ring overflowed, oldest %d spans dropped\n", dropped)
+	}
+	var buf bytes.Buffer
+	var err error
+	if strings.HasSuffix(path, ".jsonl") {
+		err = obs.WriteSpansJSONL(&buf, spans)
+	} else {
+		// Validate before writing: a trace file that Perfetto rejects is
+		// worse than an error, because nobody opens it until they need it.
+		if err = obs.WriteTraceEvents(&buf, spans); err == nil {
+			err = obs.ValidateTraceEvents(buf.Bytes())
+		}
+	}
+	if err == nil {
+		err = os.WriteFile(path, buf.Bytes(), 0o644)
+	}
+	if err != nil {
+		return fmt.Errorf("write trace %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "dwmbench: wrote %d spans to %s\n", len(spans), path)
+	return nil
 }
 
 // writeReport merges this run's completed experiments over the prior

@@ -7,7 +7,7 @@
 //
 //	dwmserved [-addr 127.0.0.1:8080] [-queue 16] [-workers 2]
 //	          [-deadline 0] [-max-deadline 0] [-drain 30s]
-//	          [-addrfile path]
+//	          [-addrfile path] [-events 4096]
 //
 // The daemon runs until SIGINT or SIGTERM, then shuts down gracefully:
 // readiness flips to 503 immediately, accepted jobs drain to completion
@@ -51,6 +51,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	deadline := fs.Duration("deadline", 0, "default per-job execution deadline (0 = unlimited)")
 	maxDeadline := fs.Duration("max-deadline", 0, "cap on per-request deadlines (0 = uncapped)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	events := fs.Int("events", 4096, "span ring capacity for GET /debug/events (0 = tracing off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +61,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Workers:         *workers,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
+		EventBuffer:     *events,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,59 @@
+// Command promlint checks Prometheus text exposition (version 0.0.4)
+// for the conformance violations internal/obs.LintExposition detects:
+// malformed metric names, series without TYPE lines, duplicate TYPE or
+// series lines, broken label syntax, and incomplete or non-cumulative
+// histograms (missing +Inf, decreasing buckets, _count/_sum mismatch).
+//
+// Usage:
+//
+//	promlint [FILE...]
+//
+// With no arguments it reads stdin, so it composes with curl:
+//
+//	curl -fsS http://127.0.0.1:8080/metrics | promlint
+//
+// Exit status is 0 when every input is clean, 1 otherwise.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		if err := lint("<stdin>", os.Stdin); err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			failed = true
+			continue
+		}
+		err = lint(path, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func lint(name string, r io.Reader) error {
+	if err := obs.LintExposition(r); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	return nil
+}

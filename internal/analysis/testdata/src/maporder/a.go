@@ -2,6 +2,7 @@ package maporder
 
 import (
 	"fmt"
+	"io"
 	"sort"
 )
 
@@ -46,6 +47,31 @@ func suppressed(m map[int]int64) []int {
 		peers = append(peers, k)
 	}
 	return peers
+}
+
+// renderUnsortedSnapshot mirrors the bug the obs.Snapshot determinism
+// test guards against at runtime: rendering a metrics map straight into
+// an exposition writer, where Go's randomized map order would make two
+// identical snapshots differ byte-for-byte. The committed
+// Format/WriteProm sort their keys first (see renderSortedSnapshot);
+// this is the analyzer-level pin that deleting the sort fails the lint.
+func renderUnsortedSnapshot(w io.Writer, counters map[string]int64) {
+	for name, v := range counters {
+		fmt.Fprintf(w, "%s %d\n", name, v) // want `Fprintf emits output in map-iteration order`
+	}
+}
+
+// renderSortedSnapshot is the approved exposition pattern — the shape of
+// obs.Snapshot.Format and WriteProm — and must not fire.
+func renderSortedSnapshot(w io.Writer, counters map[string]int64) {
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %d\n", name, counters[name])
+	}
 }
 
 // sortedKeys is the approved pattern and must not fire: collect the

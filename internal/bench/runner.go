@@ -215,20 +215,28 @@ func runOne(ctx context.Context, cfg Config, e Experiment) RunResult {
 		ectx, cancel = context.WithTimeout(ctx, cfg.Timeout)
 		defer cancel()
 	}
-	cfg.ctx = ectx
+	// The experiment span parents every pipeline span below it (anneal
+	// chains, sim runs, freezes) through the context the experiment
+	// threads into its stages.
+	sctx, span := obs.StartSpan(ectx, "bench.experiment")
+	span.SetAttr("id", e.ID).SetAttr("name", e.Name)
+	cfg.ctx = sctx
 	type outcome struct {
 		tbl *Table
 		err error
 	}
 	done := make(chan outcome, 1)
 	go func() {
+		defer span.End()
 		defer func() {
 			if r := recover(); r != nil {
 				obsPanics.Inc()
+				span.SetAttr("panic", true)
 				done <- outcome{err: fmt.Errorf("panic: %v\n%s", r, debug.Stack())}
 			}
 		}()
 		tbl, err := e.Run(cfg)
+		span.SetAttr("ok", err == nil)
 		done <- outcome{tbl: tbl, err: err}
 	}()
 	var timeout <-chan time.Time

@@ -15,13 +15,19 @@ import (
 
 // Annealer instrumentation (see internal/obs): proposed iterations,
 // accepted moves, chains run, how often a restart chain (index > 0)
-// beat the primary chain, and chains cut short by cancellation.
+// beat the primary chain, and chains cut short by cancellation. The
+// proposal-delta histogram records the |delta| of every proposed swap —
+// its shape (how much mass sits at small deltas) is what the cooling
+// schedule acts on, so a drifting distribution explains a stalling
+// anneal better than any total can.
 var (
 	obsIters       = obs.GetCounter("core.anneal.iterations")
 	obsAccepted    = obs.GetCounter("core.anneal.accepted_moves")
 	obsChains      = obs.GetCounter("core.anneal.chains")
 	obsRestartWins = obs.GetCounter("core.anneal.restart_wins")
 	obsInterrupted = obs.GetCounter("core.anneal.interrupted")
+	obsDeltaHist   = obs.GetHistogram("core.anneal.proposal_delta",
+		[]float64{0, 1, 4, 16, 64, 256, 1024, 4096, 16384, 65536})
 )
 
 // cancelCheckEvery is how many proposals a chain runs between
@@ -61,6 +67,33 @@ type AnnealOptions struct {
 	// CheckpointEvery is the proposal interval between Checkpoint calls;
 	// 0 selects 4096.
 	CheckpointEvery int
+	// Progress, when non-nil, receives cumulative search statistics on
+	// the checkpoint cadence (every CheckpointEvery proposals,
+	// improvement or not) and once more when the chain finishes. Unlike
+	// Checkpoint it never copies the placement, so it is cheap enough
+	// for live job introspection. It observes the search without
+	// influencing it — no RNG draw, no control flow depends on it. With
+	// Restarts > 1 it is called concurrently from every chain; keep
+	// per-chain state keyed on Chain.
+	Progress func(AnnealProgress)
+
+	// chain is the restart index annealChain reports in spans and
+	// Progress callbacks; AnnealContext sets it per restart.
+	chain int
+}
+
+// AnnealProgress is a cumulative view of one annealing chain, delivered
+// through AnnealOptions.Progress.
+type AnnealProgress struct {
+	// Chain is the restart index (0 for the primary chain).
+	Chain int
+	// Proposals and Accepted count the swaps proposed and accepted so
+	// far in this chain; BestCost is the chain's best energy to date.
+	Proposals int64
+	Accepted  int64
+	BestCost  int64
+	// Done marks the final report of a finished (or interrupted) chain.
+	Done bool
 }
 
 // Anneal refines a placement by simulated annealing over item swaps under
@@ -99,6 +132,7 @@ func AnnealContext(ctx context.Context, g *graph.Graph, p layout.Placement, opts
 			defer wg.Done()
 			chainOpts := opts
 			chainOpts.Restarts = 0
+			chainOpts.chain = i
 			if i > 0 {
 				chainOpts.Seed = deriveSeed(opts.Seed, i)
 			}
@@ -150,6 +184,9 @@ func deriveSeed(seed int64, i int) int64 {
 // cancellation it returns the best-so-far placement together with an
 // error wrapping ctx.Err().
 func annealChain(ctx context.Context, c *graph.CSR, p layout.Placement, opts AnnealOptions) (layout.Placement, int64, error) {
+	ctx, span := obs.StartSpan(ctx, "core.anneal.chain")
+	defer span.End()
+	span.SetAttr("chain", opts.chain).SetAttr("n", c.N())
 	ev, err := cost.NewEvaluatorCSR(c, p)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: Anneal: %w", err)
@@ -194,11 +231,29 @@ func annealChain(ctx context.Context, c *graph.CSR, p layout.Placement, opts Ann
 	best := ev.Placement()
 	bestCost := ev.Cost()
 	ckptCost := bestCost
-	accepted := int64(0) // batched into the shared counter after the loop
+	accepted := int64(0)           // batched into the shared counter after the loop
+	deltas := obsDeltaHist.Local() // per-chain buffer, flushed once at finish
+	report := func(done int, final bool) {
+		if opts.Progress != nil {
+			opts.Progress(AnnealProgress{
+				Chain:     opts.chain,
+				Proposals: int64(done),
+				Accepted:  accepted,
+				BestCost:  bestCost,
+				Done:      final,
+			})
+		}
+	}
 	finish := func(done int, interrupted error) (layout.Placement, int64, error) {
 		obsChains.Inc()
 		obsIters.Add(int64(done))
 		obsAccepted.Add(accepted)
+		deltas.Flush()
+		report(done, true)
+		span.SetAttr("proposals", int64(done)).
+			SetAttr("accepted", accepted).
+			SetAttr("best_cost", bestCost).
+			SetAttr("interrupted", interrupted != nil)
 		if interrupted != nil {
 			obsInterrupted.Inc()
 			return best, bestCost, fmt.Errorf("core: anneal interrupted after %d/%d iterations: %w",
@@ -215,15 +270,19 @@ func annealChain(ctx context.Context, c *graph.CSR, p layout.Placement, opts Ann
 				return finish(i, err)
 			}
 		}
-		if opts.Checkpoint != nil && i%ckptEvery == ckptEvery-1 && bestCost < ckptCost {
-			ckptCost = bestCost
-			opts.Checkpoint(best.Clone(), bestCost)
+		if i%ckptEvery == ckptEvery-1 {
+			if opts.Checkpoint != nil && bestCost < ckptCost {
+				ckptCost = bestCost
+				opts.Checkpoint(best.Clone(), bestCost)
+			}
+			report(i+1, false)
 		}
 		u, v := rng.Intn(n), rng.Intn(n)
 		if u == v {
 			continue
 		}
 		d := ev.SwapDelta(u, v)
+		deltas.Observe(d)
 		if d <= 0 || rng.Float64() < math.Exp(-float64(d)/temp) {
 			ev.Swap(u, v)
 			accepted++

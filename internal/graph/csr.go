@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -47,7 +48,10 @@ func (g *Graph) Freeze() *CSR {
 		return c
 	}
 	obsFreezeMisses.Inc()
+	_, span := obs.StartSpan(context.Background(), "graph.freeze.build")
 	c := buildCSR(g)
+	span.SetAttr("n", c.n).SetAttr("edges", c.NumEdges())
+	span.End()
 	g.frozen.Store(c)
 	return c
 }

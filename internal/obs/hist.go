@@ -1,0 +1,161 @@
+package obs
+
+// Fixed-bucket histograms. A Histogram is as cheap to update as a
+// Counter (one binary search over a handful of bounds plus two atomic
+// adds), so the hot layers keep theirs on unconditionally: the simulator
+// observes per-access shift distances, the annealer its proposal deltas,
+// and the serving layer queue-wait and job latency. Distributions — not
+// totals — are how the placement papers diagnose quality, and how a
+// perf regression in the tail shows up before it moves a mean.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts int64 observations into fixed buckets. Bucket i
+// holds observations v with v <= Bounds[i] (and v > Bounds[i-1]); one
+// extra overflow bucket holds everything above the last bound — the
+// +Inf bucket of the Prometheus exposition. The zero value is unusable;
+// obtain one from a Registry.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at %d: %v", i, bounds))
+		}
+	}
+	for _, b := range bounds {
+		if math.IsInf(b, 0) || math.IsNaN(b) {
+			panic("obs: histogram bounds must be finite (the +Inf bucket is implicit)")
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.SearchFloat64s(h.bounds, float64(v))
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Local returns a single-goroutine accumulation buffer for this
+// histogram. Hot loops that observe once per iteration (the annealer's
+// proposal deltas) buffer locally — a bucket search plus a plain
+// increment, no shared-cacheline traffic — and Flush once when the loop
+// ends, mirroring how those loops already batch their counters.
+func (h *Histogram) Local() *LocalHistogram {
+	return &LocalHistogram{h: h, counts: make([]int64, len(h.counts))}
+}
+
+// LocalHistogram buffers observations for one goroutine; see
+// Histogram.Local. Not safe for concurrent use.
+type LocalHistogram struct {
+	h      *Histogram
+	counts []int64
+	sum    int64
+}
+
+// Observe records one value into the local buffer.
+func (l *LocalHistogram) Observe(v int64) {
+	i := sort.SearchFloat64s(l.h.bounds, float64(v))
+	l.counts[i]++
+	l.sum += v
+}
+
+// Flush adds the buffered observations to the shared histogram and
+// clears the buffer, so a LocalHistogram can be reused.
+func (l *LocalHistogram) Flush() {
+	for i, c := range l.counts {
+		if c != 0 {
+			l.h.counts[i].Add(c)
+			l.counts[i] = 0
+		}
+	}
+	l.h.sum.Add(l.sum)
+	l.sum = 0
+}
+
+// Stats returns a point-in-time copy of the histogram. Like Snapshot it
+// does not stop writers, so Sum and the bucket counts may be off by
+// in-flight observations relative to each other.
+func (h *Histogram) Stats() HistStats {
+	s := HistStats{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// HistStats is the snapshot form of a Histogram.
+type HistStats struct {
+	// Bounds are the finite bucket upper bounds; Counts has one more
+	// entry than Bounds, the last being the overflow (+Inf) bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	// Count is the total number of observations (the sum of Counts);
+	// Sum is the sum of all observed values.
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (s HistStats) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the nearest-rank q-quantile resolved to bucket
+// granularity: the upper bound of the bucket holding the rank-⌈q·n⌉
+// observation, the same rank rule internal/stats.Quantile applies to
+// raw samples. It returns 0 for an empty histogram and +Inf when the
+// rank lands in the overflow bucket (the histogram cannot bound it).
+func (s HistStats) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i == len(s.Bounds) {
+				return math.Inf(1)
+			}
+			return s.Bounds[i]
+		}
+	}
+	return math.Inf(1)
+}

@@ -13,7 +13,9 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -109,6 +111,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	timers   map[string]*Timer
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -160,12 +163,32 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the fixed-bucket histogram with the given name,
+// creating it with the given bucket bounds (finite, strictly
+// increasing; an overflow/+Inf bucket is added implicitly) on first
+// use. Later calls with the same name return the existing instrument —
+// its original bounds win, so register each histogram once.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = map[string]*Histogram{}
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
 // Snapshot is a point-in-time copy of every instrument in a registry,
 // the unit the -json report embeds.
 type Snapshot struct {
-	Counters map[string]int64      `json:"counters,omitempty"`
-	Gauges   map[string]int64      `json:"gauges,omitempty"`
-	Timers   map[string]TimerStats `json:"timers,omitempty"`
+	Counters   map[string]int64      `json:"counters,omitempty"`
+	Gauges     map[string]int64      `json:"gauges,omitempty"`
+	Timers     map[string]TimerStats `json:"timers,omitempty"`
+	Histograms map[string]HistStats  `json:"histograms,omitempty"`
 }
 
 // Snapshot copies the current value of every instrument.
@@ -191,6 +214,12 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Timers[name] = t.Stats()
 		}
 	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistStats, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.Stats()
+		}
+	}
 	return s
 }
 
@@ -209,6 +238,12 @@ func (r *Registry) Reset() {
 		t.count.Store(0)
 		t.totalNS.Store(0)
 		t.maxNS.Store(0)
+	}
+	for _, h := range r.hists {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.sum.Store(0)
 	}
 }
 
@@ -245,7 +280,29 @@ func (s Snapshot) Format() string {
 				time.Duration(st.TotalNS), time.Duration(st.MeanNS()), time.Duration(st.MaxNS))
 		}
 	}
+	if len(s.Histograms) > 0 {
+		names := make([]string, 0, len(s.Histograms))
+		for name := range s.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			st := s.Histograms[name]
+			fmt.Fprintf(&b, "hist    %-36s count=%d sum=%d p50=%s p95=%s max=%s\n",
+				name, st.Count, st.Sum,
+				formatBound(st.Quantile(0.50)), formatBound(st.Quantile(0.95)), formatBound(st.Quantile(1)))
+		}
+	}
 	return b.String()
+}
+
+// formatBound renders a bucket bound for the text snapshot: "le2" style
+// ("at most this bucket bound"), with the overflow bucket as ">max".
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return ">max"
+	}
+	return "le" + strconv.FormatFloat(b, 'g', -1, 64)
 }
 
 // defaultRegistry is the process-wide registry the instrumented layers
@@ -263,6 +320,12 @@ func GetGauge(name string) *Gauge { return defaultRegistry.Gauge(name) }
 
 // GetTimer returns a timer from the default registry.
 func GetTimer(name string) *Timer { return defaultRegistry.Timer(name) }
+
+// GetHistogram returns a histogram from the default registry, creating
+// it with the given bucket bounds on first use (see Registry.Histogram).
+func GetHistogram(name string, bounds []float64) *Histogram {
+	return defaultRegistry.Histogram(name, bounds)
+}
 
 // Take returns a snapshot of the default registry.
 func Take() Snapshot { return defaultRegistry.Snapshot() }

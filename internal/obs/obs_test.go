@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -119,6 +120,58 @@ func TestConcurrentUpdates(t *testing.T) {
 	}
 	if got := r.Gauge("depth").Value(); got != workers*per {
 		t.Fatalf("gauge = %d, want %d", got, workers*per)
+	}
+}
+
+// Snapshot emission is deterministic: with the registry quiescent, 100
+// concurrent snapshot+render rounds (exercised under -race in CI) must
+// produce byte-identical text, JSON, and Prometheus output. This is the
+// ordering contract the dwmlint maporder fixture pins at the analyzer
+// level: every map in Snapshot is emitted through sorted keys.
+func TestSnapshotDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"z.last", "m.mid", "a.first", "core.anneal.iterations"} {
+		r.Counter(n).Add(int64(len(n)))
+		r.Gauge(n + ".g").Set(int64(-len(n)))
+		r.Timer(n + ".t").Observe(time.Duration(len(n)) * time.Millisecond)
+	}
+	h := r.Histogram("sim.shift_distance", []float64{1, 4, 16})
+	for v := int64(0); v < 20; v++ {
+		h.Observe(v)
+	}
+	r.Histogram("serve.job.wall_ms", []float64{10, 100})
+
+	const rounds = 100
+	outs := make([]string, rounds)
+	var wg sync.WaitGroup
+	for i := 0; i < rounds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := r.Snapshot()
+			var b strings.Builder
+			b.WriteString(s.Format())
+			if err := s.WriteProm(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			j, err := json.Marshal(s)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b.Write(j)
+			outs[i] = b.String()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < rounds; i++ {
+		if outs[i] != outs[0] {
+			t.Fatalf("snapshot render %d differs from render 0:\n%s\nvs\n%s", i, outs[i], outs[0])
+		}
+	}
+	if outs[0] == "" {
+		t.Fatal("renders were empty")
 	}
 }
 

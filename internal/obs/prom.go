@@ -1,9 +1,13 @@
 package obs
 
 import (
+	"bufio"
 	"fmt"
 	"io"
+	"math"
+	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -13,7 +17,15 @@ import (
 // Prometheus grammar ("core_anneal_iterations") and prefixes everything
 // with "dwm_" so the scrape namespace is unambiguous. Timers expand to
 // three series: <name>_count and <name>_total_ns (counters) and
-// <name>_max_ns (a gauge, since Reset can move it down).
+// <name>_max_ns (a gauge, since Reset can move it down). Histograms
+// expand to the standard <name>_bucket{le="..."} cumulative series plus
+// <name>_sum and <name>_count.
+//
+// Every metric name is validated against the exposition grammar before
+// it is written and every label value is escaped (backslash, quote,
+// newline), so a hostile or merely unusual instrument name can never
+// corrupt the scrape. LintExposition is the matching conformance
+// checker, run by cmd/promlint and the obs-smoke CI target.
 
 // promName sanitizes an instrument name to a legal Prometheus metric
 // name: [a-zA-Z_:][a-zA-Z0-9_:]*, with the project prefix applied.
@@ -33,6 +45,31 @@ func promName(name string) string {
 	return b.String()
 }
 
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// ValidMetricName reports whether name is a legal Prometheus metric
+// name.
+func ValidMetricName(name string) bool { return metricNameRE.MatchString(name) }
+
+// escapeLabelValue escapes a label value per the text exposition
+// format: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 // sortedKeys returns the map's keys in lexical order, the exposition's
 // (and the text Format's) deterministic ordering.
 func sortedKeys[V any](m map[string]V) []string {
@@ -44,12 +81,32 @@ func sortedKeys[V any](m map[string]V) []string {
 	return keys
 }
 
+// formatLe renders a bucket upper bound as Prometheus expects it.
+func formatLe(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
 // WriteProm renders the snapshot in the Prometheus text exposition
 // format (version 0.0.4): a # TYPE line per metric followed by its
-// sample, in lexical instrument order.
+// samples, in lexical instrument order. It refuses (with an error, not
+// a corrupt exposition) to write a metric whose sanitized name still
+// fails the grammar.
 func (s Snapshot) WriteProm(w io.Writer) error {
+	typeLine := func(name, typ string) error {
+		if !ValidMetricName(name) {
+			return fmt.Errorf("obs: %q is not a valid Prometheus metric name", name)
+		}
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		return err
+	}
 	emit := func(name, typ string, value int64) error {
-		_, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, typ, name, value)
+		if err := typeLine(name, typ); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", name, value)
 		return err
 	}
 	for _, name := range sortedKeys(s.Counters) {
@@ -59,6 +116,28 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 	}
 	for _, name := range sortedKeys(s.Gauges) {
 		if err := emit(promName(name), "gauge", s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		st := s.Histograms[name]
+		base := promName(name)
+		if err := typeLine(base, "histogram"); err != nil {
+			return err
+		}
+		var cum int64
+		for i, c := range st.Counts {
+			cum += c
+			le := math.Inf(1)
+			if i < len(st.Bounds) {
+				le = st.Bounds[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+				base, escapeLabelValue(formatLe(le)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", base, st.Sum, base, cum); err != nil {
 			return err
 		}
 	}
@@ -76,4 +155,214 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// lintLineRE matches one sample line: name, optional label set, value.
+var lintLineRE = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)$`)
+
+// lintLabelRE matches one label pair inside a label set, with a
+// properly escaped quoted value.
+var lintLabelRE = regexp.MustCompile(
+	`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+
+// LintExposition is the conformance checker for the text exposition
+// format the snapshot writer produces: every sample's metric name is
+// valid and preceded by a matching # TYPE line, no metric is declared
+// twice, no series is emitted twice, label sets parse with escaped
+// values, and histograms are complete (a +Inf bucket whose cumulative
+// count equals <name>_count, with non-decreasing bucket counts and a
+// <name>_sum). It returns the first violation found, or nil.
+func LintExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	declared := map[string]string{} // metric name -> type
+	seenSeries := map[string]bool{}
+	type histState struct {
+		lastCum  int64
+		infCum   int64
+		sawInf   bool
+		sawSum   bool
+		sawCount bool
+		count    int64
+	}
+	hists := map[string]*histState{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line: %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !ValidMetricName(name) {
+					return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := declared[name]; dup {
+					return fmt.Errorf("line %d: metric %q declared twice", lineNo, name)
+				}
+				declared[name] = typ
+				if typ == "histogram" {
+					hists[name] = &histState{}
+				}
+			}
+			continue // HELP and free comments pass through
+		}
+		m := lintLineRE.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample line: %q", lineNo, line)
+		}
+		name, labels, value := m[1], m[3], m[4]
+		if m[2] != "" {
+			for _, pair := range splitLabels(labels) {
+				if !lintLabelRE.MatchString(pair) {
+					return fmt.Errorf("line %d: malformed label pair %q", lineNo, pair)
+				}
+			}
+		}
+		base, ok := seriesBase(name, declared)
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE declaration", lineNo, name)
+		}
+		series := name + "{" + labels + "}"
+		if seenSeries[series] {
+			return fmt.Errorf("line %d: series %q emitted twice", lineNo, series)
+		}
+		seenSeries[series] = true
+		if h, isHist := hists[base]; isHist {
+			v, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: histogram sample %q has non-integer value %q", lineNo, name, value)
+			}
+			switch {
+			case name == base+"_bucket":
+				le := labelValue(labels, "le")
+				if le == "" {
+					return fmt.Errorf("line %d: %s_bucket sample without le label", lineNo, base)
+				}
+				if v < h.lastCum {
+					return fmt.Errorf("line %d: %s bucket counts decrease (%d after %d)", lineNo, base, v, h.lastCum)
+				}
+				h.lastCum = v
+				if le == "+Inf" {
+					h.sawInf = true
+					h.infCum = v
+				}
+			case name == base+"_sum":
+				h.sawSum = true
+			case name == base+"_count":
+				h.sawCount = true
+				h.count = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		switch {
+		case !h.sawInf:
+			return fmt.Errorf("histogram %q has no +Inf bucket", name)
+		case !h.sawSum:
+			return fmt.Errorf("histogram %q has no _sum sample", name)
+		case !h.sawCount:
+			return fmt.Errorf("histogram %q has no _count sample", name)
+		case h.infCum != h.count:
+			return fmt.Errorf("histogram %q: +Inf bucket %d != count %d", name, h.infCum, h.count)
+		}
+	}
+	return nil
+}
+
+// seriesBase resolves a sample name to its declared metric: exact match
+// first, then the histogram/summary child suffixes.
+func seriesBase(name string, declared map[string]string) (string, bool) {
+	if _, ok := declared[name]; ok {
+		return name, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if t, ok := declared[base]; ok && (t == "histogram" || t == "summary") {
+			return base, true
+		}
+	}
+	return "", false
+}
+
+// splitLabels splits a label set body on commas that sit outside quoted
+// values.
+func splitLabels(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range s {
+		switch {
+		case escaped:
+			escaped = false
+			cur.WriteRune(r)
+		case r == '\\' && inQuote:
+			escaped = true
+			cur.WriteRune(r)
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case r == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+// labelValue extracts the (unescaped) value of one label from a label
+// set body, empty when absent.
+func labelValue(labels, key string) string {
+	for _, pair := range splitLabels(labels) {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k != key {
+			continue
+		}
+		v = strings.TrimPrefix(v, `"`)
+		v = strings.TrimSuffix(v, `"`)
+		var b strings.Builder
+		escaped := false
+		for _, r := range v {
+			switch {
+			case escaped:
+				switch r {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteRune(r)
+				}
+				escaped = false
+			case r == '\\':
+				escaped = true
+			default:
+				b.WriteRune(r)
+			}
+		}
+		return b.String()
+	}
+	return ""
 }

@@ -90,12 +90,30 @@ type Result struct {
 
 // JobStatus is the body of GET /v1/jobs/{id}.
 type JobStatus struct {
-	ID        string    `json:"id"`
-	Status    string    `json:"status"` // queued | running | done | failed
-	Trace     TraceInfo `json:"trace"`
-	Result    *Result   `json:"result,omitempty"`
-	Error     string    `json:"error,omitempty"`
-	ElapsedMS int64     `json:"elapsed_ms,omitempty"`
+	ID        string       `json:"id"`
+	Status    string       `json:"status"` // queued | running | done | failed
+	Trace     TraceInfo    `json:"trace"`
+	Result    *Result      `json:"result,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	ElapsedMS int64        `json:"elapsed_ms,omitempty"`
+	Progress  *JobProgress `json:"progress,omitempty"`
+}
+
+// JobProgress is the live view of a running annealing job, fed by the
+// annealer's Progress hook on the checkpoint cadence. It is observational
+// only — polling it never perturbs the search (see AnnealOptions.Progress).
+type JobProgress struct {
+	// BestCost is the lowest energy any chain has reached so far.
+	BestCost int64 `json:"best_cost"`
+	// Proposals and Accepted are summed across all restart chains.
+	Proposals int64 `json:"proposals"`
+	Accepted  int64 `json:"accepted"`
+	// Chains is the number of chains that have reported at least once.
+	Chains int `json:"chains"`
+	// CheckpointAgeMS is the time since the last checkpointed
+	// improvement, or -1 when no checkpoint exists yet. A large age on a
+	// long-running job means the search has plateaued.
+	CheckpointAgeMS int64 `json:"checkpoint_age_ms"`
 }
 
 // Job lifecycle states.
@@ -123,17 +141,34 @@ type job struct {
 	cancel    context.CancelFunc // set while running
 	ckpt      layout.Placement   // best-so-far, kept at min cost
 	ckptCost  int64
+	ckptAt    time.Time                   // when ckpt last improved (stamped by the caller)
+	prog      map[int]core.AnnealProgress // latest report per restart chain
 }
 
 // recordCheckpoint keeps the lowest-cost placement seen so far. It is
 // the Checkpoint callback handed to the annealer, which may invoke it
-// concurrently from restart chains.
-func (j *job) recordCheckpoint(p layout.Placement, c int64) {
+// concurrently from restart chains. The caller supplies now — this file
+// stays clock-free so job state remains a pure function of its inputs.
+func (j *job) recordCheckpoint(p layout.Placement, c int64, now time.Time) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.ckpt == nil || c < j.ckptCost {
 		j.ckpt, j.ckptCost = p, c
+		j.ckptAt = now
 	}
+}
+
+// recordProgress stores the latest cumulative report from one annealing
+// chain. Reports carry cumulative (not incremental) totals, so keeping
+// only the newest per chain and summing across chains never double
+// counts, regardless of interleaving.
+func (j *job) recordProgress(pr core.AnnealProgress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.prog == nil {
+		j.prog = make(map[int]core.AnnealProgress)
+	}
+	j.prog[pr.Chain] = pr
 }
 
 // best returns the job's best known placement — the final result when
@@ -151,11 +186,15 @@ func (j *job) best() (layout.Placement, bool) {
 	return nil, false
 }
 
-// snapshot renders the job's externally visible state.
-func (j *job) snapshot() JobStatus {
+// snapshot renders the job's externally visible state. now anchors the
+// checkpoint-age computation (the caller reads the clock; this file does
+// not). The progress block appears once any chain has reported and is
+// kept on finished jobs so a client polling after completion still sees
+// the final search totals.
+func (j *job) snapshot(now time.Time) JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobStatus{
+	st := JobStatus{
 		ID:     j.id,
 		Status: j.status,
 		Trace: TraceInfo{
@@ -167,6 +206,24 @@ func (j *job) snapshot() JobStatus {
 		Error:     j.errMsg,
 		ElapsedMS: j.elapsedMS,
 	}
+	if len(j.prog) > 0 {
+		p := &JobProgress{CheckpointAgeMS: -1}
+		first := true
+		for _, pr := range j.prog {
+			p.Proposals += pr.Proposals
+			p.Accepted += pr.Accepted
+			if first || pr.BestCost < p.BestCost {
+				p.BestCost = pr.BestCost
+				first = false
+			}
+			p.Chains++
+		}
+		if !j.ckptAt.IsZero() {
+			p.CheckpointAgeMS = now.Sub(j.ckptAt).Milliseconds()
+		}
+		st.Progress = p
+	}
+	return st
 }
 
 // requestCancel cancels a running job, or marks a queued one so it
@@ -223,8 +280,10 @@ func effectiveSeed(req PlaceRequest, tr *trace.Trace) int64 {
 // (request, resume placement); ctx cuts the annealing stage short, in
 // which case the best-so-far placement comes back marked Partial. The
 // checkpoint callback receives best-so-far placements as the search
-// progresses (it must be safe for concurrent use).
-func execute(ctx context.Context, req PlaceRequest, tr *trace.Trace, resume layout.Placement, checkpoint func(layout.Placement, int64)) (*Result, error) {
+// progresses, and progress (optional) receives cumulative search
+// statistics for live introspection; both must be safe for concurrent
+// use, and neither influences the search.
+func execute(ctx context.Context, req PlaceRequest, tr *trace.Trace, resume layout.Placement, checkpoint func(layout.Placement, int64), progress func(core.AnnealProgress)) (*Result, error) {
 	g, err := graph.FromTrace(tr)
 	if err != nil {
 		return nil, err
@@ -284,6 +343,7 @@ func execute(ctx context.Context, req PlaceRequest, tr *trace.Trace, resume layo
 		Iterations: req.Iterations,
 		Restarts:   req.Restarts,
 		Checkpoint: checkpoint,
+		Progress:   progress,
 	})
 	if err != nil {
 		if p != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {

@@ -347,7 +347,7 @@ func TestShutdownBudgetCutsRunningJobToPartial(t *testing.T) {
 	if !ok {
 		t.Fatal("job vanished")
 	}
-	js := j.snapshot()
+	js := j.snapshot(time.Now())
 	if js.Status != statusDone || js.Result == nil {
 		t.Fatalf("cut-short job: %+v", js)
 	}

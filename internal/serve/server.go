@@ -16,26 +16,35 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime/debug"
 	"sync"
 	"time"
 
+	"repro/internal/layout"
 	"repro/internal/obs"
 )
 
 // Service instrumentation (see internal/obs), exposed over GET /metrics
-// in the Prometheus text format.
+// in the Prometheus text format. The histograms carry the same signals
+// as the queue-wait and wall timers but with full distributions (and
+// millisecond units, hence the distinct _ms names — a Timer already
+// claims the bare names' _count series in the exposition).
 var (
-	obsAccepted   = obs.GetCounter("serve.jobs.accepted")
-	obsRejected   = obs.GetCounter("serve.jobs.rejected")
-	obsDone       = obs.GetCounter("serve.jobs.done")
-	obsFailed     = obs.GetCounter("serve.jobs.failed")
-	obsPartial    = obs.GetCounter("serve.jobs.partial")
-	obsPanics     = obs.GetCounter("serve.panics_recovered")
-	obsQueueDepth = obs.GetGauge("serve.queue.depth")
-	obsRunning    = obs.GetGauge("serve.jobs.running")
-	obsQueueWait  = obs.GetTimer("serve.job.queue_wait")
-	obsJobWall    = obs.GetTimer("serve.job.wall")
+	obsAccepted    = obs.GetCounter("serve.jobs.accepted")
+	obsRejected    = obs.GetCounter("serve.jobs.rejected")
+	obsDone        = obs.GetCounter("serve.jobs.done")
+	obsFailed      = obs.GetCounter("serve.jobs.failed")
+	obsPartial     = obs.GetCounter("serve.jobs.partial")
+	obsPanics      = obs.GetCounter("serve.panics_recovered")
+	obsQueueDepth  = obs.GetGauge("serve.queue.depth")
+	obsRunning     = obs.GetGauge("serve.jobs.running")
+	obsQueueWait   = obs.GetTimer("serve.job.queue_wait")
+	obsJobWall     = obs.GetTimer("serve.job.wall")
+	obsQueueWaitMS = obs.GetHistogram("serve.job.queue_wait_ms",
+		[]float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000})
+	obsJobWallMS = obs.GetHistogram("serve.job.wall_ms",
+		[]float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000})
 )
 
 // Options configures a Server. The zero value selects the defaults.
@@ -53,6 +62,11 @@ type Options struct {
 	MaxDeadline time.Duration
 	// RetryAfter is the hint returned with 429 responses; 0 selects 1s.
 	RetryAfter time.Duration
+	// EventBuffer, when positive, enables the process-wide span tracer
+	// with a ring of that many spans, drained over GET /debug/events.
+	// Zero leaves tracing in whatever state the process already has
+	// (disabled unless something else enabled it).
+	EventBuffer int
 }
 
 func (o Options) queueCap() int {
@@ -135,6 +149,18 @@ func New(opts Options) *Server {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	if opts.EventBuffer > 0 {
+		obs.EnableTracing(opts.EventBuffer)
+	}
+	s.mux.HandleFunc("GET /debug/events", handleEvents)
+	// Standard pprof surface, reachable with `go tool pprof` against a
+	// live service. Registered on the explicit paths (not a prefix
+	// wildcard) so the mux's method-aware patterns above stay unambiguous.
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	s.httpSrv = &http.Server{Handler: s.mux}
 	for i := 0; i < opts.workers(); i++ {
 		s.wg.Add(1)
@@ -214,6 +240,32 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
+}
+
+// eventsResponse is the body of GET /debug/events.
+type eventsResponse struct {
+	// Enabled reports whether the span tracer is on (Options.EventBuffer
+	// or an explicit obs.EnableTracing).
+	Enabled bool `json:"enabled"`
+	// Dropped counts spans overwritten in the ring since the last drain.
+	Dropped int64 `json:"dropped"`
+	// Spans are the buffered span records, oldest first. Draining
+	// empties the ring — each span is delivered to exactly one caller.
+	Spans []obs.SpanRecord `json:"spans"`
+}
+
+// handleEvents drains the process-wide span ring as JSON. It is a
+// consuming read: two concurrent scrapers split the stream between them.
+func handleEvents(w http.ResponseWriter, _ *http.Request) {
+	spans, dropped := obs.DrainSpans()
+	if spans == nil {
+		spans = []obs.SpanRecord{}
+	}
+	writeJSON(w, http.StatusOK, eventsResponse{
+		Enabled: obs.TracingEnabled(),
+		Dropped: dropped,
+		Spans:   spans,
+	})
 }
 
 // apiError is the JSON error envelope.
@@ -320,7 +372,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
 		return
 	}
-	writeJSON(w, http.StatusOK, j.snapshot())
+	writeJSON(w, http.StatusOK, j.snapshot(time.Now()))
 }
 
 // handleCancel cancels a job. A running job unwinds at its next
@@ -335,7 +387,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.requestCancel()
-	writeJSON(w, http.StatusAccepted, j.snapshot())
+	writeJSON(w, http.StatusAccepted, j.snapshot(time.Now()))
 }
 
 // worker consumes jobs until the queue closes at shutdown, draining
@@ -370,6 +422,10 @@ func (s *Server) runJob(j *job) {
 	}()
 
 	obsQueueWait.Observe(start.Sub(j.enqueued))
+	obsQueueWaitMS.Observe(start.Sub(j.enqueued).Milliseconds())
+	ctx, span := obs.StartSpan(ctx, "serve.job.run")
+	defer span.End()
+	span.SetAttr("id", j.id).SetAttr("trace", j.tr.Name)
 	j.mu.Lock()
 	j.status = statusRunning
 	j.cancel = cancel
@@ -383,6 +439,8 @@ func (s *Server) runJob(j *job) {
 	finish := func(res *Result, errMsg string) {
 		elapsed := time.Since(start)
 		obsJobWall.Observe(elapsed)
+		obsJobWallMS.Observe(elapsed.Milliseconds())
+		span.SetAttr("failed", errMsg != "")
 		j.mu.Lock()
 		j.elapsedMS = elapsed.Milliseconds()
 		j.cancel = nil
@@ -408,7 +466,12 @@ func (s *Server) runJob(j *job) {
 		}
 	}()
 
-	res, err := execute(ctx, j.req, j.tr, j.resume, j.recordCheckpoint)
+	// The checkpoint closure stamps the wall clock here — job.go is
+	// clock-free by design (see the walltime analyzer allowlist).
+	checkpoint := func(p layout.Placement, c int64) {
+		j.recordCheckpoint(p, c, time.Now())
+	}
+	res, err := execute(ctx, j.req, j.tr, j.resume, checkpoint, j.recordProgress)
 	if err != nil {
 		finish(nil, err.Error())
 		return

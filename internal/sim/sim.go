@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -22,10 +23,15 @@ import (
 
 // Simulator instrumentation (see internal/obs): runs, accesses served,
 // and shifts issued, accumulated process-wide across all simulators.
+// The shift-distance histogram records every access's shift count —
+// the distribution (not the total) is how the placement papers diagnose
+// quality, and its tail is what bounds worst-case access latency.
 var (
-	obsRuns     = obs.GetCounter("sim.runs")
-	obsAccesses = obs.GetCounter("sim.accesses")
-	obsShifts   = obs.GetCounter("sim.shifts")
+	obsRuns      = obs.GetCounter("sim.runs")
+	obsAccesses  = obs.GetCounter("sim.accesses")
+	obsShifts    = obs.GetCounter("sim.shifts")
+	obsShiftDist = obs.GetHistogram("sim.shift_distance",
+		[]float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512})
 )
 
 // HeadPolicy selects what the simulator does with tape heads between
@@ -113,6 +119,9 @@ type Simulator struct {
 	// sorts it in place, which is fine because each Run truncates and
 	// refills it before reading.
 	scratch []int
+	// dist buffers this simulator's shift-distance observations and is
+	// flushed into the process-wide histogram once per Run.
+	dist *obs.LocalHistogram
 }
 
 // New builds a simulator. The placement must be valid for the device
@@ -122,7 +131,7 @@ func New(dev *dwm.Device, mp layout.MultiPlacement, pol HeadPolicy) (*Simulator,
 	if err := mp.Validate(g.Tapes, g.DomainsPerTape); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	return &Simulator{dev: dev, mp: mp.Clone(), pol: pol}, nil
+	return &Simulator{dev: dev, mp: mp.Clone(), pol: pol, dist: obsShiftDist.Local()}, nil
 }
 
 // NewSingleTape builds a simulator for a single-tape device from a plain
@@ -149,6 +158,8 @@ func (s *Simulator) Address(item int) (dwm.Address, error) {
 // device holds; writes store a value derived from the access index so
 // that data integrity can be checked by tests.
 func (s *Simulator) Run(t *trace.Trace) (Result, error) {
+	_, span := obs.StartSpan(context.Background(), "sim.run")
+	defer span.End()
 	if err := t.Validate(); err != nil {
 		return Result{}, fmt.Errorf("sim: %w", err)
 	}
@@ -202,11 +213,22 @@ func (s *Simulator) Run(t *trace.Trace) (Result, error) {
 	p := s.dev.Params()
 	res.LatencyNS = res.Counters.LatencyNS(p)
 	res.EnergyPJ = res.Counters.EnergyPJ(p)
+	// Feed the process-wide distance histogram before distribution sorts
+	// the scratch buffer, batching through the simulator's local buffer
+	// so the per-run cost is one flush, not len(trace) shared atomic
+	// adds.
+	for _, d := range perAccess {
+		s.dist.Observe(int64(d))
+	}
+	s.dist.Flush()
 	res.ShiftDist = distribution(perAccess)
 	s.scratch = perAccess
 	obsRuns.Inc()
 	obsAccesses.Add(int64(res.Accesses))
 	obsShifts.Add(res.Counters.Shifts)
+	span.SetAttr("trace", t.Name).
+		SetAttr("accesses", res.Accesses).
+		SetAttr("shifts", res.Counters.Shifts)
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Summary holds the moments of a sample.
@@ -47,4 +48,29 @@ func Summarize(xs []float64) (Summary, error) {
 // String formats the summary as "mean ± stddev [min, max]".
 func (s Summary) String() string {
 	return fmt.Sprintf("%.1f ± %.1f [%.1f, %.1f]", s.Mean, s.Stddev, s.Min, s.Max)
+}
+
+// Quantile returns the nearest-rank q-quantile of a non-empty sample:
+// the smallest element with at least a q fraction of the sample at or
+// below it, i.e. the element of rank ⌈q·n⌉. This is the rank rule the
+// simulator's percentile columns and the obs histogram quantiles share,
+// so the three layers agree wherever their granularities overlap. The
+// input is not modified; q is clamped to [0, 1].
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return sorted[i], nil
 }

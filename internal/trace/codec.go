@@ -2,10 +2,13 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // The text format is line oriented:
@@ -46,6 +49,20 @@ func Encode(w io.Writer, t *Trace) error {
 
 // Decode parses a trace from the text format and validates it.
 func Decode(r io.Reader) (*Trace, error) {
+	_, span := obs.StartSpan(context.Background(), "trace.decode")
+	defer span.End()
+	t, err := decode(r)
+	if err != nil {
+		span.SetAttr("error", true)
+		return nil, err
+	}
+	span.SetAttr("name", t.Name).
+		SetAttr("accesses", t.Len()).
+		SetAttr("items", t.NumItems)
+	return t, nil
+}
+
+func decode(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	line := 0
