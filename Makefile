@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint fmt-check test race bench-smoke bench-report merge-smoke determinism-smoke serve-smoke obs-smoke ci
+.PHONY: all build vet lint fmt-check test race bench-smoke bench-report merge-smoke determinism-smoke serve-smoke obs-smoke cache-smoke ci
 
 all: ci
 
@@ -70,6 +70,14 @@ determinism-smoke:
 	if ! cmp -s "$$a" "$$c"; then \
 		echo "determinism-smoke: tables differ with tracing enabled:"; \
 		diff -u "$$a" "$$c"; exit 1; \
+	fi; \
+	d="$$(mktemp)"; e="$$(mktemp)"; pc="$$(mktemp -d)"; \
+	trap 'rm -f "$$a" "$$b" "$$c" "$$t" "$$d" "$$e"; rm -rf "$$pc"' EXIT; \
+	$(GO) run ./cmd/dwmbench -seed 1 -workers 8 -only E2 -cache "$$pc" > "$$d" 2>/dev/null && \
+	$(GO) run ./cmd/dwmbench -seed 1 -workers 8 -only E2 -cache "$$pc" > "$$e" 2>/dev/null && \
+	if ! cmp -s "$$d" "$$e"; then \
+		echo "determinism-smoke: warm-cache E2 table differs from cold:"; \
+		diff -u "$$d" "$$e"; exit 1; \
 	fi
 
 # End-to-end service smoke: boot dwmserved on a kernel-chosen port,
@@ -84,4 +92,11 @@ serve-smoke:
 obs-smoke:
 	@GO="$(GO)" sh scripts/obs_smoke.sh
 
-ci: fmt-check vet lint build race bench-smoke merge-smoke determinism-smoke serve-smoke obs-smoke
+# Placement-cache smoke: duplicate and renumbered submissions to
+# dwmserved are served from the cache (cache_hit=true, byte-identical
+# result, anneal counters flat), the hit counter lands on /metrics, and
+# the new series stay promlint-clean.
+cache-smoke:
+	@GO="$(GO)" sh scripts/cache_smoke.sh
+
+ci: fmt-check vet lint build race bench-smoke merge-smoke determinism-smoke serve-smoke obs-smoke cache-smoke

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	dwmbench [-seed N] [-csv] [-md] [-only E2,E5] [-workers N] [-timeout D]
-//	         [-json FILE] [-metrics] [-trace FILE]
+//	         [-json FILE] [-metrics] [-trace FILE] [-cache DIR]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // Experiments execute on a worker pool of -workers goroutines (default
@@ -16,6 +16,13 @@
 // experiment's wall time. SIGINT cancels the run gracefully: experiments
 // already finished still print, the -json report is still written for
 // them, and the process exits nonzero.
+//
+// -cache DIR memoizes the anneal stages of the suite in a persistent
+// placement cache at DIR/placecache.jsonl (see internal/placecache):
+// re-running a sweep replays cached anneal results byte-exactly instead
+// of re-searching. Each -json report row records whether its experiment
+// ran against the cache ("hit"/"miss"/"off") so repeated runs stay
+// distinguishable in the BENCH history.
 //
 // -json writes a machine-readable BENCH report with per-experiment wall
 // times, ns deltas against the previous run, and a metrics snapshot
@@ -44,6 +51,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -51,6 +59,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/obs"
+	"repro/internal/placecache"
 )
 
 func main() {
@@ -64,6 +73,7 @@ func main() {
 	flag.StringVar(&opts.jsonPath, "json", "", "write a machine-readable benchmark report to this file")
 	flag.BoolVar(&opts.metrics, "metrics", false, "print the observability snapshot to stderr after the run")
 	flag.StringVar(&opts.tracePath, "trace", "", "collect spans and write a Chrome trace_event file (.jsonl = one span per line)")
+	flag.StringVar(&opts.cacheDir, "cache", "", "memoize anneal results in a persistent placement cache under this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -119,6 +129,7 @@ type options struct {
 	jsonPath  string
 	metrics   bool
 	tracePath string
+	cacheDir  string
 }
 
 // benchReport is the schema of the -json report (BENCH_dwmbench.json).
@@ -142,6 +153,29 @@ type expReport struct {
 	// in the report previously stored at the -json path (negative =
 	// faster); omitted when there is no prior sample.
 	DeltaPct *float64 `json:"delta_pct,omitempty"`
+	// Cache records how this row ran against the placement cache: "hit"
+	// (every anneal lookup was served from the cache), "miss" (at least
+	// one lookup annealed cold), or "off" (no -cache, or the experiment
+	// has no anneal stage). Rows merged from reports written before the
+	// field existed omit it. Schema bump documented in EXPERIMENTS.md.
+	Cache string `json:"cache,omitempty"`
+}
+
+// cacheOutcome folds a RunResult's cache counters into the report
+// value: any cold lookup makes the row a "miss" (its wall time includes
+// real search work), an all-served row is a "hit", everything else is
+// "off".
+func cacheOutcome(r bench.RunResult) string {
+	switch {
+	case !r.CacheEnabled:
+		return "off"
+	case r.CacheMisses > 0:
+		return "miss"
+	case r.CacheHits > 0:
+		return "hit"
+	default:
+		return "off"
+	}
 }
 
 func run(ctx context.Context, opts options) error {
@@ -187,6 +221,21 @@ func run(ctx context.Context, opts options) error {
 	}
 
 	cfg := bench.Config{Seed: opts.seed, Workers: opts.workers, Timeout: opts.timeout}
+	if opts.cacheDir != "" {
+		if err := os.MkdirAll(opts.cacheDir, 0o755); err != nil {
+			return err
+		}
+		pc, err := placecache.New(placecache.Options{
+			Path: filepath.Join(opts.cacheDir, "placecache.jsonl"),
+		})
+		if err != nil {
+			return err
+		}
+		defer pc.Close()
+		fmt.Fprintf(os.Stderr, "dwmbench: placement cache at %s (%d entries loaded)\n",
+			filepath.Join(opts.cacheDir, "placecache.jsonl"), pc.Len())
+		cfg.Cache = pc.ForAnneal("linear")
+	}
 	results, runErr := bench.RunContext(ctx, cfg, selected...)
 
 	// Print every completed table, even when a sibling failed or the
@@ -289,7 +338,7 @@ func writeReport(opts options, prior map[string]expReport, priorOrder []string, 
 		if r.Err != nil || r.Table == nil {
 			continue // failed/canceled experiments keep their prior entry
 		}
-		er := expReport{ID: r.ID, Name: r.Name, WallNS: r.Elapsed.Nanoseconds()}
+		er := expReport{ID: r.ID, Name: r.Name, WallNS: r.Elapsed.Nanoseconds(), Cache: cacheOutcome(r)}
 		if old, ok := prior[r.ID]; ok && old.WallNS > 0 {
 			d := 100 * float64(er.WallNS-old.WallNS) / float64(old.WallNS)
 			er.DeltaPct = &d

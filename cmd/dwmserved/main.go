@@ -8,6 +8,12 @@
 //	dwmserved [-addr 127.0.0.1:8080] [-queue 16] [-workers 2]
 //	          [-deadline 0] [-max-deadline 0] [-drain 30s]
 //	          [-addrfile path] [-events 4096]
+//	          [-cache DIR] [-cache-entries 256]
+//
+// The placement cache (on by default, in memory) serves duplicate and
+// renumber-equivalent anneal requests without re-running the search;
+// -cache DIR persists it to DIR/placecache.jsonl across restarts and
+// -cache-entries 0 disables caching entirely.
 //
 // The daemon runs until SIGINT or SIGTERM, then shuts down gracefully:
 // readiness flips to 503 immediately, accepted jobs drain to completion
@@ -25,9 +31,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"repro/internal/placecache"
 	"repro/internal/serve"
 )
 
@@ -52,8 +60,31 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxDeadline := fs.Duration("max-deadline", 0, "cap on per-request deadlines (0 = uncapped)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	events := fs.Int("events", 4096, "span ring capacity for GET /debug/events (0 = tracing off)")
+	cacheDir := fs.String("cache", "", "persist the placement cache under this directory (empty = memory only)")
+	cacheEntries := fs.Int("cache-entries", 256, "placement cache capacity (0 = caching disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var cache *placecache.Cache
+	if *cacheEntries > 0 {
+		copts := placecache.Options{MaxEntries: *cacheEntries}
+		if *cacheDir != "" {
+			if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+				return err
+			}
+			copts.Path = filepath.Join(*cacheDir, "placecache.jsonl")
+		}
+		c, err := placecache.New(copts)
+		if err != nil {
+			return err
+		}
+		cache = c
+		defer cache.Close()
+		if copts.Path != "" {
+			fmt.Fprintf(out, "dwmserved: placement cache at %s (%d entries loaded)\n",
+				copts.Path, cache.Len())
+		}
 	}
 
 	srv := serve.New(serve.Options{
@@ -62,6 +93,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		EventBuffer:     *events,
+		Cache:           cache,
+		DisableCache:    *cacheEntries <= 0,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

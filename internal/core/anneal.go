@@ -28,7 +28,20 @@ var (
 	obsInterrupted = obs.GetCounter("core.anneal.interrupted")
 	obsDeltaHist   = obs.GetHistogram("core.anneal.proposal_delta",
 		[]float64{0, 1, 4, 16, 64, 256, 1024, 4096, 16384, 65536})
+	obsCacheHits   = obs.GetCounter("core.anneal.cache.hits")
+	obsCacheMisses = obs.GetCounter("core.anneal.cache.misses")
 )
+
+// PlacementCache memoizes anneal results by graph structure, start
+// placement, and options. internal/placecache provides the standard
+// implementation (ForAnneal); the interface lives here so core does not
+// depend on the cache package. Lookup must only report ok when replaying
+// the stored result is byte-identical to re-running the anneal — the
+// determinism contract extends through the cache.
+type PlacementCache interface {
+	Lookup(c *graph.CSR, start layout.Placement, opts AnnealOptions) (layout.Placement, int64, bool)
+	Store(c *graph.CSR, start layout.Placement, opts AnnealOptions, best layout.Placement, cost int64)
+}
 
 // cancelCheckEvery is how many proposals a chain runs between
 // context-cancellation checks. ctx.Err() is an atomic load, so the
@@ -76,6 +89,16 @@ type AnnealOptions struct {
 	// Restarts > 1 it is called concurrently from every chain; keep
 	// per-chain state keyed on Chain.
 	Progress func(AnnealProgress)
+	// Warmstart, when non-nil, replaces the input placement as the
+	// chain's starting point. The serving layer uses it to seed the
+	// search from a cached near-match instead of the caller's heuristic
+	// start. Determinism is unaffected: the result is still a pure
+	// function of (graph, effective start, options).
+	Warmstart layout.Placement
+	// Cache, when non-nil, is consulted before annealing and updated
+	// with the result afterwards. A hit returns the memoized placement
+	// without running any chain.
+	Cache PlacementCache
 
 	// chain is the restart index annealChain reports in spans and
 	// Progress callbacks; AnnealContext sets it per restart.
@@ -114,7 +137,30 @@ func Anneal(g *graph.Graph, p layout.Placement, opts AnnealOptions) (layout.Plac
 // error: placement != nil with errors.Is(err, ctx.Err()) means
 // "interrupted but usable".
 func AnnealContext(ctx context.Context, g *graph.Graph, p layout.Placement, opts AnnealOptions) (layout.Placement, int64, error) {
+	if opts.Warmstart != nil {
+		p = opts.Warmstart
+		opts.Warmstart = nil
+	}
 	c := g.Freeze()
+	cache := opts.Cache
+	opts.Cache = nil // chains must not re-consult the cache
+	if cache != nil {
+		if best, bestCost, ok := cache.Lookup(c, p, opts); ok {
+			obsCacheHits.Inc()
+			return best, bestCost, nil
+		}
+		obsCacheMisses.Inc()
+	}
+	best, bestCost, err := annealCSR(ctx, c, p, opts)
+	if cache != nil && err == nil && best != nil {
+		cache.Store(c, p, opts, best, bestCost)
+	}
+	return best, bestCost, err
+}
+
+// annealCSR runs the chain (or concurrent restart chains) over a frozen
+// graph; AnnealContext handles warm-start substitution and the cache.
+func annealCSR(ctx context.Context, c *graph.CSR, p layout.Placement, opts AnnealOptions) (layout.Placement, int64, error) {
 	if opts.Restarts <= 1 {
 		return annealChain(ctx, c, p, opts)
 	}

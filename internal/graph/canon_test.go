@@ -1,0 +1,294 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// permuteTrace relabels every item of t through perm (a permutation of
+// [0, NumItems)), modeling the same workload submitted under a different
+// item numbering.
+func permuteTrace(t *trace.Trace, perm []int) *trace.Trace {
+	out := trace.New(t.Name, t.NumItems)
+	for _, a := range t.Accesses {
+		if a.Write {
+			out.Write(perm[a.Item])
+		} else {
+			out.Read(perm[a.Item])
+		}
+	}
+	return out
+}
+
+func randPerm(rng *rand.Rand, n int) []int { return rng.Perm(n) }
+
+// randomTrace generates a seeded access trace with locality structure
+// (hot pairs plus uniform noise) so the transition graph is non-trivial.
+func randomTrace(seed int64, items, length int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := trace.New("canon-rand", items)
+	for i := 0; i < length; i++ {
+		var it int
+		if rng.Intn(4) == 0 {
+			it = rng.Intn(items)
+		} else {
+			it = rng.Intn(items / 2) // hot half
+		}
+		if rng.Intn(3) == 0 {
+			t.Write(it)
+		} else {
+			t.Read(it)
+		}
+	}
+	return t
+}
+
+// ringGraph is a weight-w cycle over n vertices: vertex-transitive, the
+// worst case for plain WL refinement (zero classes split), so it
+// exercises the individualization loop.
+func ringGraph(t *testing.T, n int, w int64) *Graph {
+	t.Helper()
+	g := mustNew(t, n)
+	for i := 0; i < n; i++ {
+		g.AddWeight(i, (i+1)%n, w)
+	}
+	return g
+}
+
+// permuteGraph rebuilds g with every vertex u renamed to perm[u].
+func permuteGraph(t *testing.T, g *Graph, perm []int) *Graph {
+	t.Helper()
+	pg := mustNew(t, g.N())
+	g.EachEdge(func(u, v int, w int64) {
+		pg.AddWeight(perm[u], perm[v], w)
+	})
+	return pg
+}
+
+func TestFingerprintPermutationInvariance(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(t *testing.T) *Graph
+	}{
+		{"random-trace", func(t *testing.T) *Graph {
+			g, err := FromTrace(randomTrace(11, 48, 4000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}},
+		{"ring-64", func(t *testing.T) *Graph { return ringGraph(t, 64, 3) }},
+		{"star", func(t *testing.T) *Graph {
+			g := mustNew(t, 17)
+			for i := 1; i < 17; i++ {
+				g.AddWeight(0, i, int64(1+i%3))
+			}
+			return g
+		}},
+		{"two-components", func(t *testing.T) *Graph {
+			g := mustNew(t, 10)
+			for i := 0; i < 4; i++ {
+				g.AddWeight(i, (i+1)%5, 2)
+			}
+			g.AddWeight(5, 6, 7)
+			g.AddWeight(6, 7, 7)
+			g.AddWeight(8, 9, 1)
+			return g
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.build(t)
+			ref := g.Freeze().Canon()
+			if err := CheckLabeling(ref.Labeling, g.N()); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(42))
+			for trial := 0; trial < 8; trial++ {
+				perm := randPerm(rng, g.N())
+				pg := permuteGraph(t, g, perm)
+				got := pg.Freeze().Canon()
+				if got.FP != ref.FP {
+					t.Fatalf("trial %d: fingerprint changed under renumbering: %s vs %s",
+						trial, got.FP, ref.FP)
+				}
+				if got.Profile != ref.Profile {
+					t.Fatalf("trial %d: degree profile changed under renumbering", trial)
+				}
+				if err := CheckLabeling(got.Labeling, pg.N()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestFingerprintPermutationInvarianceOnTraces(t *testing.T) {
+	// The end-to-end property the serve cache depends on: renumbering the
+	// items of a trace leaves the transition graph's fingerprint fixed.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		tr := randomTrace(int64(100+trial), 32, 2500)
+		g, err := FromTrace(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := g.Freeze().Canon()
+		perm := randPerm(rng, tr.NumItems)
+		pg, err := FromTrace(permuteTrace(tr, perm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := pg.Freeze().Canon(); got.FP != ref.FP {
+			t.Fatalf("trial %d: trace renumbering changed fingerprint: %s vs %s",
+				trial, got.FP, ref.FP)
+		}
+	}
+}
+
+func TestFingerprintDistinguishesStructure(t *testing.T) {
+	builds := map[string]func(t *testing.T) *Graph{
+		"path-4": func(t *testing.T) *Graph {
+			g := mustNew(t, 4)
+			g.AddWeight(0, 1, 1)
+			g.AddWeight(1, 2, 1)
+			g.AddWeight(2, 3, 1)
+			return g
+		},
+		"ring-4":       func(t *testing.T) *Graph { return ringGraph(t, 4, 1) },
+		"ring-4-heavy": func(t *testing.T) *Graph { return ringGraph(t, 4, 2) },
+		"ring-5":       func(t *testing.T) *Graph { return ringGraph(t, 5, 1) },
+		"path-4-weighted": func(t *testing.T) *Graph {
+			g := mustNew(t, 4)
+			g.AddWeight(0, 1, 2)
+			g.AddWeight(1, 2, 1)
+			g.AddWeight(2, 3, 1)
+			return g
+		},
+		"star-4": func(t *testing.T) *Graph {
+			g := mustNew(t, 4)
+			g.AddWeight(0, 1, 1)
+			g.AddWeight(0, 2, 1)
+			g.AddWeight(0, 3, 1)
+			return g
+		},
+		"rand-a": func(t *testing.T) *Graph {
+			g, err := FromTrace(randomTrace(1, 24, 1500))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+		"rand-b": func(t *testing.T) *Graph {
+			g, err := FromTrace(randomTrace(2, 24, 1500))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+	}
+	fps := make(map[Fingerprint]string)
+	for name, build := range builds {
+		fp := build(t).Freeze().Canon().FP
+		if prev, dup := fps[fp]; dup {
+			t.Errorf("graphs %q and %q share fingerprint %s", name, prev, fp)
+		}
+		fps[fp] = name
+	}
+}
+
+func TestCanonDeterministicAcrossBuilds(t *testing.T) {
+	// Two independently constructed copies of the same graph — including
+	// a different edge insertion order — must agree on everything.
+	mk := func(reverse bool) *Canonical {
+		g := mustNew(t, 12)
+		edges := [][3]int{{0, 1, 5}, {1, 2, 3}, {2, 3, 5}, {3, 4, 1}, {4, 5, 9},
+			{0, 6, 2}, {6, 7, 2}, {8, 9, 4}, {10, 11, 4}, {9, 10, 1}}
+		if reverse {
+			for i := len(edges) - 1; i >= 0; i-- {
+				e := edges[i]
+				g.AddWeight(e[1], e[0], int64(e[2]))
+			}
+		} else {
+			for _, e := range edges {
+				g.AddWeight(e[0], e[1], int64(e[2]))
+			}
+		}
+		return g.Freeze().Canon()
+	}
+	a, b := mk(false), mk(true)
+	if a.FP != b.FP {
+		t.Fatalf("insertion order changed fingerprint: %s vs %s", a.FP, b.FP)
+	}
+	if a.Profile != b.Profile {
+		t.Fatal("insertion order changed profile")
+	}
+	for u, ci := range a.Labeling {
+		if b.Labeling[u] != ci {
+			t.Fatalf("insertion order changed labeling at vertex %d: %d vs %d", u, ci, b.Labeling[u])
+		}
+	}
+}
+
+// linearCost computes Σ w(u,v)·|p(u)−p(v)| directly; the graph package
+// cannot import internal/cost (cost depends on graph).
+func linearCost(g *Graph, p []int) int64 {
+	var total int64
+	g.EachEdge(func(u, v int, w int64) {
+		d := int64(p[u] - p[v])
+		if d < 0 {
+			d = -d
+		}
+		total += w * d
+	})
+	return total
+}
+
+func TestCanonicalPlacementTransportPreservesCost(t *testing.T) {
+	// The cache's replay path: a placement found for one numbering,
+	// stored in canonical space, and mapped into a renumbered twin's
+	// space must have the same linear cost there.
+	g, err := FromTrace(randomTrace(99, 40, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	perm := randPerm(rng, g.N())
+	pg := permuteGraph(t, g, perm)
+	ca, cb := g.Freeze().Canon(), pg.Freeze().Canon()
+	if ca.FP != cb.FP {
+		t.Fatal("renumbered twin has a different fingerprint; transport undefined")
+	}
+	p := rng.Perm(g.N()) // arbitrary placement on the original numbering
+	// Canonical space: pc[L1[u]] = p[u]; twin space: p2[v] = pc[L2[v]].
+	pc := make([]int, g.N())
+	for u, slot := range p {
+		pc[ca.Labeling[u]] = slot
+	}
+	p2 := make([]int, pg.N())
+	for v := range p2 {
+		p2[v] = pc[cb.Labeling[v]]
+	}
+	if got, want := linearCost(pg, p2), linearCost(g, p); got != want {
+		t.Fatalf("transported placement cost %d, want %d", got, want)
+	}
+}
+
+func TestFingerprintString(t *testing.T) {
+	s := Fingerprint{0x1, 0xAB}.String()
+	if len(s) != 32 {
+		t.Fatalf("String() length %d, want 32", len(s))
+	}
+	if s != "000000000000000100000000000000ab" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestCanonMemoized(t *testing.T) {
+	c := ringGraph(t, 8, 1).Freeze()
+	if a, b := c.Canon(), c.Canon(); a != b {
+		t.Fatal("Canon() rebuilt instead of returning the memo")
+	}
+}

@@ -32,6 +32,9 @@ type CSR struct {
 
 	edgesOnce sync.Once
 	edges     []Edge // lazily built descending-weight edge list
+
+	canonOnce sync.Once
+	canon     *Canonical // lazily built canonical relabeling, see Canon
 }
 
 // maxCSRVertices bounds the vertex count a CSR can index with int32

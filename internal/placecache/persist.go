@@ -1,0 +1,182 @@
+package placecache
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strconv"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+var (
+	obsPersistLoaded  = obs.GetCounter("placecache.persist.loaded")
+	obsPersistSkipped = obs.GetCounter("placecache.persist.skipped")
+)
+
+// record is the on-disk form of one (Key, Entry) pair.
+type record struct {
+	FP         string `json:"fp"` // 32 hex digits, Fingerprint.String
+	Policy     string `json:"policy"`
+	Device     string `json:"device"`
+	Seed       int64  `json:"seed"`
+	Iterations int    `json:"iterations"`
+	Restarts   int    `json:"restarts"`
+	Aux        uint64 `json:"aux"`
+	Profile    uint64 `json:"profile"`
+	Cost       int64  `json:"cost"`
+	Placement  []int  `json:"placement"`
+}
+
+// envelope wraps a record with its checksum: Sum is the FNV-64a hash of
+// the record's JSON bytes, rendered as 16 hex digits. A torn or edited
+// line fails the check and is skipped on load instead of poisoning the
+// cache.
+type envelope struct {
+	Sum string          `json:"sum"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+func checksum(rec []byte) string {
+	h := fnv.New64a()
+	h.Write(rec)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func parseFP(s string) (graph.Fingerprint, error) {
+	var fp graph.Fingerprint
+	if len(s) != 32 {
+		return fp, fmt.Errorf("fingerprint %q: want 32 hex digits", s)
+	}
+	hi, err := strconv.ParseUint(s[:16], 16, 64)
+	if err != nil {
+		return fp, err
+	}
+	lo, err := strconv.ParseUint(s[16:], 16, 64)
+	if err != nil {
+		return fp, err
+	}
+	return graph.Fingerprint{hi, lo}, nil
+}
+
+// persister owns the append-only JSONL file.
+type persister struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+func newPersister(path string) (*persister, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &persister{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// load replays every valid record into the cache (oldest first, so LRU
+// recency mirrors append order), skipping malformed lines, checksum
+// mismatches, and invalid placements. It then positions the file at the
+// end for appends.
+func (p *persister) load(c *Cache) error {
+	sc := bufio.NewScanner(p.f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var env envelope
+		if err := json.Unmarshal(line, &env); err != nil {
+			obsPersistSkipped.Inc()
+			continue
+		}
+		if checksum(env.Rec) != env.Sum {
+			obsPersistSkipped.Inc()
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(env.Rec, &rec); err != nil {
+			obsPersistSkipped.Inc()
+			continue
+		}
+		fp, err := parseFP(rec.FP)
+		if err != nil || !validPlacement(rec.Placement) {
+			obsPersistSkipped.Inc()
+			continue
+		}
+		k := Key{
+			FP:         fp,
+			Policy:     rec.Policy,
+			Device:     rec.Device,
+			Seed:       rec.Seed,
+			Iterations: rec.Iterations,
+			Restarts:   rec.Restarts,
+			Aux:        rec.Aux,
+		}
+		c.put(k, Entry{Placement: rec.Placement, Cost: rec.Cost, Profile: rec.Profile}, false)
+		obsPersistLoaded.Inc()
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("load %s: %w", p.f.Name(), err)
+	}
+	if _, err := p.f.Seek(0, 2); err != nil {
+		return fmt.Errorf("seek %s: %w", p.f.Name(), err)
+	}
+	return nil
+}
+
+// validPlacement checks that a loaded placement is a permutation of
+// [0, n) — the invariant Decanonize and downstream consumers rely on.
+func validPlacement(pl []int) bool {
+	if len(pl) == 0 {
+		return false
+	}
+	seen := make([]bool, len(pl))
+	for _, s := range pl {
+		if s < 0 || s >= len(pl) || seen[s] {
+			return false
+		}
+		seen[s] = true
+	}
+	return true
+}
+
+// append writes one record; called under the cache lock, so appends are
+// serialized. Each line is flushed immediately — the log is a cache, but
+// a half-buffered line after a crash would be skipped on load anyway
+// thanks to the checksum.
+func (p *persister) append(k Key, e Entry) {
+	rec, err := json.Marshal(record{
+		FP:         k.FP.String(),
+		Policy:     k.Policy,
+		Device:     k.Device,
+		Seed:       k.Seed,
+		Iterations: k.Iterations,
+		Restarts:   k.Restarts,
+		Aux:        k.Aux,
+		Profile:    e.Profile,
+		Cost:       e.Cost,
+		Placement:  e.Placement,
+	})
+	if err != nil {
+		return
+	}
+	env, err := json.Marshal(envelope{Sum: checksum(rec), Rec: rec})
+	if err != nil {
+		return
+	}
+	p.w.Write(env)
+	p.w.WriteByte('\n')
+	p.w.Flush()
+}
+
+func (p *persister) close() error {
+	if err := p.w.Flush(); err != nil {
+		p.f.Close()
+		return err
+	}
+	return p.f.Close()
+}

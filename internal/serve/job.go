@@ -97,6 +97,11 @@ type JobStatus struct {
 	Error     string       `json:"error,omitempty"`
 	ElapsedMS int64        `json:"elapsed_ms,omitempty"`
 	Progress  *JobProgress `json:"progress,omitempty"`
+	// CacheHit marks a job served straight from the placement cache:
+	// the result was memoized from an earlier structurally identical
+	// request and the worker pool never ran. It sits outside Result so
+	// duplicate submissions stay byte-identical on the result payload.
+	CacheHit bool `json:"cache_hit,omitempty"`
 }
 
 // JobProgress is the live view of a running annealing job, fed by the
@@ -131,6 +136,12 @@ type job struct {
 	tr       *trace.Trace
 	resume   layout.Placement // optional starting placement from a resumed job
 	enqueued time.Time        // set at acceptance, read for the queue-wait timer
+
+	// Cache integration (see cache.go). plan carries the pre-built graph
+	// and canonical form plus either a warm start or the store key;
+	// cacheHit marks a job minted directly from a cache hit.
+	plan     *cachePlan
+	cacheHit bool
 
 	mu        sync.Mutex
 	status    string
@@ -205,6 +216,7 @@ func (j *job) snapshot(now time.Time) JobStatus {
 		Result:    j.result,
 		Error:     j.errMsg,
 		ElapsedMS: j.elapsedMS,
+		CacheHit:  j.cacheHit,
 	}
 	if len(j.prog) > 0 {
 		p := &JobProgress{CheckpointAgeMS: -1}
@@ -277,16 +289,22 @@ func effectiveSeed(req PlaceRequest, tr *trace.Trace) int64 {
 }
 
 // execute computes the job's placement. It is a pure function of
-// (request, resume placement); ctx cuts the annealing stage short, in
-// which case the best-so-far placement comes back marked Partial. The
-// checkpoint callback receives best-so-far placements as the search
-// progresses, and progress (optional) receives cumulative search
+// (request, resume placement, warm placement); ctx cuts the annealing
+// stage short, in which case the best-so-far placement comes back
+// marked Partial. g, when non-nil, is the trace's pre-built transition
+// graph (the cache planner already paid for it); warm, when non-nil,
+// is a cached near-match that seeds the anneal if it beats the proposed
+// start. The checkpoint callback receives best-so-far placements as the
+// search progresses, and progress (optional) receives cumulative search
 // statistics for live introspection; both must be safe for concurrent
 // use, and neither influences the search.
-func execute(ctx context.Context, req PlaceRequest, tr *trace.Trace, resume layout.Placement, checkpoint func(layout.Placement, int64), progress func(core.AnnealProgress)) (*Result, error) {
-	g, err := graph.FromTrace(tr)
-	if err != nil {
-		return nil, err
+func execute(ctx context.Context, req PlaceRequest, tr *trace.Trace, g *graph.Graph, resume, warm layout.Placement, checkpoint func(layout.Placement, int64), progress func(core.AnnealProgress)) (*Result, error) {
+	if g == nil {
+		built, err := graph.FromTrace(tr)
+		if err != nil {
+			return nil, err
+		}
+		g = built
 	}
 	base, err := core.ProgramOrder(tr)
 	if err != nil {
@@ -333,6 +351,14 @@ func execute(ctx context.Context, req PlaceRequest, tr *trace.Trace, resume layo
 	startCost, err := cost.Linear(g, start)
 	if err != nil {
 		return nil, err
+	}
+	// Adopt a cached warm start only when it strictly beats the start we
+	// would otherwise use: the start (and so every checkpoint) stays
+	// never-worse-than-baseline, and a useless near-match changes nothing.
+	if resume == nil && warm != nil {
+		if wc, err := cost.Linear(g, warm); err == nil && wc < startCost {
+			start, startCost = warm, wc
+		}
 	}
 	// Record the starting point immediately: even a job cancelled
 	// before its first annealing checkpoint has a valid best-so-far.

@@ -21,8 +21,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/graph"
 	"repro/internal/layout"
 	"repro/internal/obs"
+	"repro/internal/placecache"
 )
 
 // Service instrumentation (see internal/obs), exposed over GET /metrics
@@ -45,6 +47,14 @@ var (
 		[]float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000})
 	obsJobWallMS = obs.GetHistogram("serve.job.wall_ms",
 		[]float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000})
+	// Placement-cache outcomes at the service boundary: hits served
+	// without running a worker, misses that went to the pool, and misses
+	// that at least warm-started from a structural near-match. The
+	// cache's own internals (evictions, bytes, persistence) live under
+	// the placecache.* series.
+	obsCacheHits       = obs.GetCounter("serve.cache.hits")
+	obsCacheMisses     = obs.GetCounter("serve.cache.misses")
+	obsCacheWarmstarts = obs.GetCounter("serve.cache.warmstarts")
 )
 
 // Options configures a Server. The zero value selects the defaults.
@@ -67,6 +77,13 @@ type Options struct {
 	// Zero leaves tracing in whatever state the process already has
 	// (disabled unless something else enabled it).
 	EventBuffer int
+	// Cache is the placement cache the service consults for anneal
+	// requests (see cache.go). Nil selects a fresh in-memory cache with
+	// the default bound; supply one to control sizing or persistence.
+	Cache *placecache.Cache
+	// DisableCache turns content-addressed serving off entirely: every
+	// request runs on the worker pool, as before the cache existed.
+	DisableCache bool
 }
 
 func (o Options) queueCap() int {
@@ -113,6 +130,7 @@ type Server struct {
 	opts    Options
 	mux     *http.ServeMux
 	httpSrv *http.Server
+	cache   *placecache.Cache // nil when Options.DisableCache
 
 	mu        sync.Mutex
 	jobs      map[string]*job
@@ -134,6 +152,12 @@ func New(opts Options) *Server {
 		queue:     make(chan *job, opts.queueCap()),
 		accepting: true,
 		isReady:   true,
+	}
+	if !opts.DisableCache {
+		s.cache = opts.Cache
+		if s.cache == nil {
+			s.cache = placecache.NewMemory(0)
+		}
 	}
 	s.mux.HandleFunc("POST /v1/place", s.handlePlace)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -319,6 +343,49 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		resume = best
 	}
 
+	// Consult the placement cache for anneal requests. A planning error
+	// is not fatal — the job simply runs cold, exactly as with the cache
+	// disabled (a malformed trace still fails inside execute).
+	var plan *cachePlan
+	if s.cache != nil && cacheable(req) {
+		if p, err := planCache(s.cache, req, tr); err == nil {
+			plan = p
+		}
+	}
+	if plan != nil && plan.hit != nil {
+		// Exact hit: mint a finished job without touching the worker
+		// pool. The job is registered so GET /v1/jobs/{id} works as for
+		// any other submission.
+		s.mu.Lock()
+		if !s.accepting {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
+			return
+		}
+		s.nextID++
+		j := &job{
+			id:       fmt.Sprintf("job-%06d", s.nextID),
+			req:      req,
+			tr:       tr,
+			status:   statusDone,
+			result:   plan.hit,
+			cacheHit: true,
+		}
+		s.jobs[j.id] = j
+		s.mu.Unlock()
+		obsAccepted.Inc()
+		obsDone.Inc()
+		obsCacheHits.Inc()
+		writeJSON(w, http.StatusAccepted, j.snapshot(time.Now()))
+		return
+	}
+	if plan != nil {
+		obsCacheMisses.Inc()
+		if plan.warm != nil {
+			obsCacheWarmstarts.Inc()
+		}
+	}
+
 	s.mu.Lock()
 	if !s.accepting {
 		s.mu.Unlock()
@@ -331,6 +398,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		req:      req,
 		tr:       tr,
 		resume:   resume,
+		plan:     plan,
 		status:   statusQueued,
 		enqueued: time.Now(),
 	}
@@ -471,10 +539,22 @@ func (s *Server) runJob(j *job) {
 	checkpoint := func(p layout.Placement, c int64) {
 		j.recordCheckpoint(p, c, time.Now())
 	}
-	res, err := execute(ctx, j.req, j.tr, j.resume, checkpoint, j.recordProgress)
+	var prebuiltGraph *graph.Graph
+	var warm layout.Placement
+	if j.plan != nil {
+		prebuiltGraph = j.plan.g
+		warm = j.plan.warm
+	}
+	res, err := execute(ctx, j.req, j.tr, prebuiltGraph, j.resume, warm, checkpoint, j.recordProgress)
 	if err != nil {
 		finish(nil, err.Error())
 		return
 	}
 	finish(res, "")
+	// Memoize the finished result: full runs only (a partial is not the
+	// key's answer), and only for planned (cacheable) jobs. Put is
+	// first-wins, so concurrent duplicates cannot flap the stored bytes.
+	if j.plan != nil && !res.Partial && s.cache != nil {
+		s.cache.Put(j.plan.key, storeEntry(j.plan.canon, res))
+	}
 }
