@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint fmt-check test race bench-smoke bench-report merge-smoke determinism-smoke serve-smoke obs-smoke cache-smoke ci
+.PHONY: all build vet lint fmt-check test race bench-smoke bench-report merge-smoke determinism-smoke serve-smoke obs-smoke cache-smoke stream-smoke ci
 
 all: ci
 
@@ -99,4 +99,11 @@ obs-smoke:
 cache-smoke:
 	@GO="$(GO)" sh scripts/cache_smoke.sh
 
-ci: fmt-check vet lint build race bench-smoke merge-smoke determinism-smoke serve-smoke obs-smoke cache-smoke
+# Streaming smoke: chunked and one-shot appends to dwmserved streams end
+# byte-identical, oversized traces are rejected with 400, the stream
+# series land on /metrics promlint-clean, and SIGTERM drains with a
+# stream still live.
+stream-smoke:
+	@GO="$(GO)" sh scripts/stream_smoke.sh
+
+ci: fmt-check vet lint build race bench-smoke merge-smoke determinism-smoke serve-smoke obs-smoke cache-smoke stream-smoke

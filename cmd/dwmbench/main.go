@@ -143,6 +143,24 @@ type benchReport struct {
 	// Metrics is the process-wide observability snapshot at report time
 	// (simulator, annealer, CSR cache, runner; see internal/obs).
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// DeltaBench records the graph.ApplyDeltas-vs-rebuild microbenchmark
+	// (BenchmarkApplyDeltas* in internal/graph). dwmbench does not
+	// measure it — the numbers come from `go test -bench ApplyDeltas
+	// ./internal/graph` — but the report carries them across merges so a
+	// partial -only run never drops the record.
+	DeltaBench *deltaBenchReport `json:"delta_bench,omitempty"`
+}
+
+// deltaBenchReport pins the incremental-graph acceptance numbers: ns/op
+// for the weight-only patch and structural splice paths vs a cold CSR
+// rebuild of the same batch, plus the derived speedups.
+type deltaBenchReport struct {
+	Bench         string  `json:"bench"`
+	PatchNS       int64   `json:"patch_ns_op"`
+	SpliceNS      int64   `json:"splice_ns_op"`
+	RebuildNS     int64   `json:"rebuild_ns_op"`
+	PatchSpeedup  float64 `json:"patch_speedup"`
+	SpliceSpeedup float64 `json:"splice_speedup"`
 }
 
 type expReport struct {
@@ -201,6 +219,7 @@ func run(ctx context.Context, opts options) error {
 	// entries for experiments not run this invocation.
 	prior := map[string]expReport{}
 	var priorOrder []string
+	var priorDelta *deltaBenchReport
 	if opts.jsonPath != "" {
 		if raw, err := os.ReadFile(opts.jsonPath); err == nil {
 			var old benchReport
@@ -209,6 +228,7 @@ func run(ctx context.Context, opts options) error {
 					prior[e.ID] = e
 					priorOrder = append(priorOrder, e.ID)
 				}
+				priorDelta = old.DeltaBench
 			}
 		}
 	}
@@ -281,7 +301,7 @@ func run(ctx context.Context, opts options) error {
 	}
 
 	if opts.jsonPath != "" {
-		if err := writeReport(opts, prior, priorOrder, results); err != nil {
+		if err := writeReport(opts, prior, priorOrder, priorDelta, results); err != nil {
 			if runErr != nil {
 				return errors.Join(runErr, err)
 			}
@@ -324,7 +344,7 @@ func writeTrace(path string) error {
 // report and writes the result. Entries are ordered by the canonical
 // suite order (bench.All()); prior entries for IDs no longer in the
 // suite keep their original relative order at the end.
-func writeReport(opts options, prior map[string]expReport, priorOrder []string, results []bench.RunResult) error {
+func writeReport(opts options, prior map[string]expReport, priorOrder []string, priorDelta *deltaBenchReport, results []bench.RunResult) error {
 	effWorkers := opts.workers
 	if effWorkers <= 0 {
 		effWorkers = runtime.GOMAXPROCS(0)
@@ -362,6 +382,7 @@ func writeReport(opts options, prior map[string]expReport, priorOrder []string, 
 	}
 	snap := obs.Take()
 	rep.Metrics = &snap
+	rep.DeltaBench = priorDelta
 
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

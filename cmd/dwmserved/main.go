@@ -15,6 +15,14 @@
 // -cache DIR persists it to DIR/placecache.jsonl across restarts and
 // -cache-entries 0 disables caching entirely.
 //
+// Besides one-shot jobs (POST /v1/place), the daemon serves streaming
+// sessions (DESIGN.md §13): POST /v1/streams creates a live placement
+// session from an item count and seed, POST /v1/streams/{id}/append
+// feeds it accesses and returns the updated status, GET reads it, and
+// DELETE returns the final status and frees the slot. The status after
+// N appended accesses is a pure function of (seed, the concatenated
+// accesses) regardless of how appends were chunked.
+//
 // The daemon runs until SIGINT or SIGTERM, then shuts down gracefully:
 // readiness flips to 503 immediately, accepted jobs drain to completion
 // (bounded by -drain), and only then does the listener close. With

@@ -138,7 +138,10 @@ func Anneal(g *graph.Graph, p layout.Placement, opts AnnealOptions) (layout.Plac
 // "interrupted but usable".
 func AnnealContext(ctx context.Context, g *graph.Graph, p layout.Placement, opts AnnealOptions) (layout.Placement, int64, error) {
 	if opts.Warmstart != nil {
-		p = opts.Warmstart
+		// Clone: the warm start often comes from a cache or another
+		// session, and nothing downstream may ever write through to the
+		// caller's slice.
+		p = opts.Warmstart.Clone()
 		opts.Warmstart = nil
 	}
 	c := g.Freeze()

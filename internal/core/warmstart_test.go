@@ -56,6 +56,31 @@ func TestAnnealWarmstartNeverWorseThanItsSeed(t *testing.T) {
 	}
 }
 
+// TestAnnealWarmstartInputNotMutated is the regression test for the
+// adopt-without-clone bug: the annealer took opts.Warmstart by reference,
+// so a future write through the adopted slice would have corrupted the
+// caller's (possibly cached and shared) placement. The input must be
+// byte-identical after a full run, including one with restarts.
+func TestAnnealWarmstartInputNotMutated(t *testing.T) {
+	g := annealTestGraph(t)
+	warm := layout.Identity(g.N()).Mirror(g.N())
+	orig := warm.Clone()
+	opts := AnnealOptions{Seed: 13, Iterations: 6000, Warmstart: warm}
+	if _, _, err := Anneal(g, layout.Identity(g.N()), opts); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm, orig) {
+		t.Fatal("Anneal mutated the caller's Warmstart slice")
+	}
+	opts = AnnealOptions{Seed: 13, Iterations: 4000, Restarts: 3, Warmstart: warm}
+	if _, _, err := Anneal(g, layout.Identity(g.N()), opts); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm, orig) {
+		t.Fatal("Anneal with restarts mutated the caller's Warmstart slice")
+	}
+}
+
 // fakeCache is a minimal PlacementCache for plumbing tests; the real
 // implementation (and its byte-identity tests) live in
 // internal/placecache.

@@ -1,0 +1,349 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/layout"
+	"repro/internal/trace"
+)
+
+// randomEvalGraph builds a random trace-derived graph with n items.
+func randomEvalGraph(t testing.TB, rng *rand.Rand, n, accesses int) *graph.Graph {
+	t.Helper()
+	tr := trace.New("delta-test", n)
+	for i := 0; i < accesses; i++ {
+		tr.Read(rng.Intn(n))
+	}
+	g, err := graph.FromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func randomPlacement(rng *rand.Rand, n int) layout.Placement {
+	p := layout.Identity(n)
+	rng.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// TestEvaluatorTracksGraphDeltas is the satellite property test: a stream
+// of randomized graph delta batches — edge creation, weight increments,
+// and deletion via weight reaching zero — applied through
+// graph.ApplyDeltas + Evaluator.ApplyGraphDeltas must keep the evaluator
+// in exact agreement with a cold FromTrace-style rebuild
+// (Freeze + LinearCSR from scratch), as checked by Verify after every
+// batch and by an independent cold evaluator at the end.
+func TestEvaluatorTracksGraphDeltas(t *testing.T) {
+	for _, n := range []int{4, 16, 64} {
+		rng := rand.New(rand.NewSource(int64(7000 + n)))
+		g := randomEvalGraph(t, rng, n, 10*n)
+		e, err := NewEvaluator(g, randomPlacement(rng, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 30; round++ {
+			// Interleave placement moves with graph mutation, as the
+			// streaming session does.
+			e.Swap(rng.Intn(n), rng.Intn(n))
+			batch := make([]graph.Delta, 0, 6)
+			pend := make(map[[2]int]int64)
+			for len(batch) < 1+rng.Intn(6) {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u == v {
+					continue
+				}
+				if u > v {
+					u, v = v, u
+				}
+				key := [2]int{u, v}
+				cur, seen := pend[key]
+				if !seen {
+					cur = g.Weight(u, v)
+				}
+				var w int64
+				switch rng.Intn(3) {
+				case 0: // deletion via weight reaching zero
+					w = -cur
+					if w == 0 {
+						w = 2
+					}
+				default:
+					w = int64(rng.Intn(4) + 1)
+				}
+				pend[key] = cur + w
+				batch = append(batch, graph.Delta{U: u, V: v, W: w})
+			}
+			if err := g.ApplyDeltas(batch); err != nil {
+				t.Fatalf("round %d: ApplyDeltas: %v", round, err)
+			}
+			if err := e.ApplyGraphDeltas(g.Freeze(), batch); err != nil {
+				t.Fatalf("round %d: ApplyGraphDeltas: %v", round, err)
+			}
+			if err := e.Verify(); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+		// Final cross-check against a completely cold evaluator on the
+		// same end state.
+		cold, err := NewEvaluatorCSR(g.Freeze(), e.Placement())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold.Cost() != e.Cost() {
+			t.Fatalf("n=%d: incremental cost %d != cold rebuild %d", n, e.Cost(), cold.Cost())
+		}
+	}
+}
+
+// TestRotateDeltaMatchesRecompute checks RotateDelta/Rotate against a
+// from-scratch cost recompute across random rotation sets of varying
+// size, including sets with adjacent and entangled items.
+func TestRotateDeltaMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := 40
+	g := randomEvalGraph(t, rng, n, 600)
+	e, err := NewEvaluator(g, randomPlacement(rng, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		k := 2 + rng.Intn(6)
+		perm := rng.Perm(n)[:k]
+		want := e.Cost() + e.RotateDelta(perm)
+		got := e.Rotate(perm)
+		if got != want {
+			t.Fatalf("trial %d: Rotate returned %d, RotateDelta predicted %d", trial, got, want)
+		}
+		if err := e.Verify(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Placement and inverse must stay consistent.
+		p := e.Placement()
+		for item, slot := range p {
+			if e.ItemAt(slot) != item {
+				t.Fatalf("trial %d: inv[%d] = %d, want %d", trial, slot, e.ItemAt(slot), item)
+			}
+		}
+	}
+}
+
+// TestMoveDeltaMatchesRecompute checks the insertion move against a
+// recompute: moving an item to an arbitrary slot shifts the span between
+// old and new slot by one and must leave a valid permutation with the
+// predicted cost.
+func TestMoveDeltaMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	n := 32
+	g := randomEvalGraph(t, rng, n, 500)
+	e, err := NewEvaluator(g, randomPlacement(rng, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		u, slot := rng.Intn(n), rng.Intn(n)
+		before := e.Placement()
+		want := e.Cost() + e.MoveDelta(u, slot)
+		got := e.Move(u, slot)
+		if got != want {
+			t.Fatalf("trial %d: Move returned %d, MoveDelta predicted %d", trial, got, want)
+		}
+		if err := e.Verify(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		after := e.Placement()
+		if after[u] != slot {
+			t.Fatalf("trial %d: item %d at slot %d, want %d", trial, u, after[u], slot)
+		}
+		if err := after.Validate(n); err != nil {
+			t.Fatalf("trial %d: move broke the permutation: %v", trial, err)
+		}
+		// Items outside the shifted span must not move.
+		lo, hi := before[u], slot
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for item, s := range before {
+			if item != u && (s < lo || s > hi) && after[item] != s {
+				t.Fatalf("trial %d: item %d outside span moved %d->%d", trial, item, s, after[item])
+			}
+		}
+	}
+}
+
+// TestRotateDeltaTrivialSets pins the degenerate cases: empty and
+// single-item rotations are free, and a 2-cycle equals a swap.
+func TestRotateDeltaTrivialSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 16
+	g := randomEvalGraph(t, rng, n, 200)
+	e, err := NewEvaluator(g, layout.Identity(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := e.RotateDelta(nil); d != 0 {
+		t.Fatalf("RotateDelta(nil) = %d, want 0", d)
+	}
+	if d := e.RotateDelta([]int{3}); d != 0 {
+		t.Fatalf("RotateDelta(single) = %d, want 0", d)
+	}
+	for trial := 0; trial < 50; trial++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if rot, swp := e.RotateDelta([]int{u, v}), e.SwapDelta(u, v); rot != swp {
+			t.Fatalf("RotateDelta({%d,%d}) = %d, SwapDelta = %d", u, v, rot, swp)
+		}
+	}
+	// MoveDelta to the item's own slot is free.
+	if d := e.MoveDelta(5, e.Placement()[5]); d != 0 {
+		t.Fatalf("MoveDelta to own slot = %d, want 0", d)
+	}
+}
+
+// TestEdgeDeltaUnderMutation pins EdgeDelta directly: the cost moves by
+// w·|pos(u)-pos(v)| per increment and Verify agrees once the graph
+// actually changes.
+func TestEdgeDeltaUnderMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 12
+	g := randomEvalGraph(t, rng, n, 150)
+	e, err := NewEvaluator(g, randomPlacement(rng, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, v := 2, 9
+	p := e.Placement()
+	gap := p[u] - p[v]
+	if gap < 0 {
+		gap = -gap
+	}
+	before := e.Cost()
+	if err := g.ApplyDeltas([]graph.Delta{{U: u, V: v, W: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyGraphDeltas(g.Freeze(), []graph.Delta{{U: u, V: v, W: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if want := before + 5*int64(gap); e.Cost() != want {
+		t.Fatalf("cost after EdgeDelta = %d, want %d", e.Cost(), want)
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSwapDeltaBatchMatchesSwapDelta checks the branch-light batch path
+// against the reference single-proposal path across random proposals,
+// including u==v no-ops and adjacent items.
+func TestSwapDeltaBatchMatchesSwapDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	n := 48
+	g := randomEvalGraph(t, rng, n, 800)
+	e, err := NewEvaluator(g, randomPlacement(rng, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 256
+	us := make([]int, batch)
+	vs := make([]int, batch)
+	for j := range us {
+		us[j] = rng.Intn(n)
+		if j%17 == 0 {
+			vs[j] = us[j] // self-swap must come out zero
+		} else {
+			vs[j] = rng.Intn(n)
+		}
+	}
+	var out []int64
+	out = e.SwapDeltaBatch(us, vs, out)
+	if len(out) != batch {
+		t.Fatalf("batch returned %d deltas, want %d", len(out), batch)
+	}
+	for j := range us {
+		if want := e.SwapDelta(us[j], vs[j]); out[j] != want {
+			t.Fatalf("proposal %d (swap %d,%d): batch %d, reference %d", j, us[j], vs[j], out[j], want)
+		}
+	}
+	// The returned slice must be reused when capacity allows.
+	again := e.SwapDeltaBatch(us[:8], vs[:8], out)
+	if &again[0] != &out[0] {
+		t.Fatal("batch did not reuse the provided output slice")
+	}
+}
+
+// BenchmarkSwapDeltaBatch gates the branch-light claim: evaluating many
+// proposals through the batch path must not be slower per proposal than
+// the reference SwapDelta loop it replaces.
+func BenchmarkSwapDeltaBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1024
+	g := randomEvalGraph(b, rng, n, 40000)
+	e, err := NewEvaluator(g, layout.Identity(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 512
+	us := make([]int, batch)
+	vs := make([]int, batch)
+	for j := range us {
+		us[j], vs[j] = rng.Intn(n), rng.Intn(n)
+	}
+	out := make([]int64, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = e.SwapDeltaBatch(us, vs, out)
+	}
+	_ = out
+}
+
+// BenchmarkSwapDeltaLoop is the reference point for the batch benchmark:
+// the same proposals through the single-call path.
+func BenchmarkSwapDeltaLoop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1024
+	g := randomEvalGraph(b, rng, n, 40000)
+	e, err := NewEvaluator(g, layout.Identity(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 512
+	us := make([]int, batch)
+	vs := make([]int, batch)
+	for j := range us {
+		us[j], vs[j] = rng.Intn(n), rng.Intn(n)
+	}
+	out := make([]int64, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range us {
+			out[j] = e.SwapDelta(us[j], vs[j])
+		}
+	}
+	_ = out
+}
+
+// BenchmarkRotateDelta measures the rotation primitive at the set sizes
+// the session's move neighborhood uses.
+func BenchmarkRotateDelta(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 1024
+	g := randomEvalGraph(b, rng, n, 40000)
+	e, err := NewEvaluator(g, layout.Identity(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := rng.Perm(n)[:8]
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += e.RotateDelta(set)
+	}
+	_ = sink
+}

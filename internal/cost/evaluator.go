@@ -17,7 +17,15 @@ type Evaluator struct {
 	csr *graph.CSR
 	g   *graph.Graph // live graph when known, for Verify; nil if CSR-built
 	pos layout.Placement
+	inv []int // slot -> item, the inverse of pos, maintained by Swap/Rotate/Move
 	cur int64
+
+	// Scratch for RotateDelta/MoveDelta: tag[x] = 1+index of x in the set
+	// being rotated (0 = outside), npos[x] = x's post-rotation slot. Both
+	// are reset to their resting state before every delta call returns.
+	tag   []int32
+	npos  []int
+	cycle []int // MoveDelta's rotation-set scratch
 }
 
 // NewEvaluator builds an evaluator for a placement that must be a
@@ -43,7 +51,12 @@ func NewEvaluatorCSR(c *graph.CSR, p layout.Placement) (*Evaluator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Evaluator{csr: c, pos: p.Clone(), cur: cost}, nil
+	e := &Evaluator{csr: c, pos: p.Clone(), cur: cost}
+	e.inv = make([]int, len(e.pos))
+	for item, slot := range e.pos {
+		e.inv[slot] = item
+	}
+	return e, nil
 }
 
 // Cost returns the current Linear cost.
@@ -80,9 +93,15 @@ func (e *Evaluator) SwapDelta(u, v int) int64 {
 // Swap applies the swap of items u and v and returns the new cost.
 func (e *Evaluator) Swap(u, v int) int64 {
 	e.cur += e.SwapDelta(u, v)
+	pu, pv := e.pos[u], e.pos[v]
 	e.pos.Swap(u, v)
+	e.inv[pu], e.inv[pv] = v, u
 	return e.cur
 }
+
+// ItemAt returns the item occupying the given slot (the inverse of the
+// placement), maintained incrementally across Swap/Rotate/Move.
+func (e *Evaluator) ItemAt(slot int) int { return e.inv[slot] }
 
 // Verify recomputes the cost from scratch and reports whether the
 // incremental bookkeeping agrees; it is used by tests and can guard long

@@ -1,0 +1,246 @@
+package graph
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Delta instrumentation (see internal/obs): batches applied, distinct
+// edges edited, and which CSR path each batch took — "patched" batches
+// only changed weights of existing edges (arrays copied, rows untouched),
+// "spliced" batches inserted or removed edges (touched rows rebuilt,
+// untouched rows block-copied), and "cold" batches found no cached CSR to
+// patch at all.
+var (
+	obsDeltaBatches = obs.GetCounter("graph.delta.batches")
+	obsDeltaEdges   = obs.GetCounter("graph.delta.edges")
+	obsDeltaPatched = obs.GetCounter("graph.delta.patched")
+	obsDeltaSpliced = obs.GetCounter("graph.delta.spliced")
+	obsDeltaCold    = obs.GetCounter("graph.delta.cold")
+)
+
+// Delta is one edge-weight increment: add W (which may be negative) to
+// the weight of edge {U,V}. A weight that reaches zero removes the edge;
+// an increment on an absent edge creates it. Deltas are the unit of
+// streaming graph evolution — a live access stream turns into one Delta
+// per observed transition, batched by the session layer.
+type Delta struct {
+	U, V int
+	W    int64
+}
+
+// ApplyDeltas applies a batch of edge-weight increments in one step.
+// Unlike a sequence of AddWeight calls — each of which discards the
+// cached CSR view and forces the next Freeze to pay a full O(V+E)
+// rebuild — ApplyDeltas patches the cached view forward: a batch that
+// only changes weights of existing edges copies the weight/degree arrays
+// and edits the touched entries in place, and a batch that inserts or
+// removes edges rebuilds only the touched rows, block-copying the rest.
+// Either way the previous CSR snapshot stays immutable and valid for
+// readers that still hold it; the graph's cache simply advances to the
+// patched successor, whose fingerprint/edges/canon memos are rebuilt
+// lazily only if someone asks for them.
+//
+// The whole batch is validated before anything mutates: an out-of-range
+// vertex, a self loop, or a net weight that would go negative fails the
+// call with the graph unchanged. The final graph (and its CSR bytes) is
+// a pure function of the net per-edge increments — the order of deltas
+// within a batch, and the batching itself, never shows through.
+func (g *Graph) ApplyDeltas(ds []Delta) error {
+	if len(ds) == 0 {
+		return nil
+	}
+	// Net the batch per edge and validate against the current weights.
+	net := make(map[uint64]int64, len(ds))
+	for i, d := range ds {
+		u, v := d.U, d.V
+		if u < 0 || u >= g.n || v < 0 || v >= g.n {
+			return fmt.Errorf("graph: delta %d: vertex pair (%d,%d) outside [0,%d)", i, u, v, g.n)
+		}
+		if u == v {
+			return fmt.Errorf("graph: delta %d: self loop on %d", i, u)
+		}
+		if u > v {
+			u, v = v, u
+		}
+		k := uint64(u)<<32 | uint64(v)
+		w, seen := net[k]
+		if !seen {
+			w = g.adj[u][v]
+		}
+		w += d.W
+		if w < 0 {
+			return fmt.Errorf("graph: delta %d: edge {%d,%d} weight would go negative", i, u, v)
+		}
+		net[k] = w
+	}
+
+	// Flatten to a sorted edit list (map order must not leak anywhere)
+	// and drop no-ops so an inert batch leaves every memo untouched.
+	type edit struct {
+		u, v     int
+		old, new int64
+	}
+	edits := make([]edit, 0, len(net))
+	for k, w := range net {
+		u, v := int(k>>32), int(uint32(k))
+		if old := g.adj[u][v]; old != w {
+			edits = append(edits, edit{u: u, v: v, old: old, new: w})
+		}
+	}
+	if len(edits) == 0 {
+		return nil
+	}
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].u != edits[j].u {
+			return edits[i].u < edits[j].u
+		}
+		return edits[i].v < edits[j].v
+	})
+
+	_, span := obs.StartSpan(context.Background(), "graph.delta.apply")
+	defer span.End()
+	obsDeltaBatches.Inc()
+	obsDeltaEdges.Add(int64(len(edits)))
+
+	// Apply to the adjacency maps.
+	structural := false
+	for _, e := range edits {
+		if (e.old == 0) != (e.new == 0) {
+			structural = true
+		}
+		set := func(a, b int) {
+			if e.new == 0 {
+				delete(g.adj[a], b)
+				return
+			}
+			if g.adj[a] == nil {
+				g.adj[a] = make(map[int]int64)
+			}
+			g.adj[a][b] = e.new
+		}
+		set(e.u, e.v)
+		set(e.v, e.u)
+	}
+
+	old := g.frozen.Load()
+	span.SetAttr("edges", len(edits)).SetAttr("structural", structural)
+	if old == nil {
+		// Nothing cached to patch: the next Freeze rebuilds from the maps.
+		obsDeltaCold.Inc()
+		span.SetAttr("path", "cold")
+		return nil
+	}
+
+	var next *CSR
+	if !structural {
+		next = patchWeights(old, len(edits), func(i int) (int, int, int64) {
+			return edits[i].u, edits[i].v, edits[i].new - edits[i].old
+		})
+		obsDeltaPatched.Inc()
+		span.SetAttr("path", "patched")
+	} else {
+		touched := make([]bool, g.n)
+		for _, e := range edits {
+			touched[e.u] = true
+			touched[e.v] = true
+		}
+		next = spliceRows(g, old, touched)
+		obsDeltaSpliced.Inc()
+		span.SetAttr("path", "spliced")
+	}
+	g.frozen.Store(next)
+	return nil
+}
+
+// patchWeights derives a CSR from old where only edge weights changed:
+// rowPtr and colIdx are structurally identical, so they are shared with
+// the old snapshot, and only the weight/degree arrays are copied and
+// edited. edit(i) yields the i-th changed edge and its weight increment.
+func patchWeights(old *CSR, edits int, edit func(i int) (u, v int, dw int64)) *CSR {
+	next := &CSR{
+		n:       old.n,
+		rowPtr:  old.rowPtr,
+		colIdx:  old.colIdx,
+		weights: append([]int64(nil), old.weights...),
+		wdeg:    append([]int64(nil), old.wdeg...),
+		totalW:  old.totalW,
+	}
+	for i := 0; i < edits; i++ {
+		u, v, dw := edit(i)
+		next.weights[next.arcIndex(u, v)] += dw
+		next.weights[next.arcIndex(v, u)] += dw
+		next.wdeg[u] += dw
+		next.wdeg[v] += dw
+		next.totalW += dw
+	}
+	return next
+}
+
+// arcIndex locates the weights/colIdx index of the directed arc u->v by
+// binary search over u's row. The arc must exist.
+func (c *CSR) arcIndex(u, v int) int {
+	lo, hi := c.rowPtr[u], c.rowPtr[u+1]
+	row := c.colIdx[lo:hi]
+	i := sort.Search(len(row), func(i int) bool { return int(row[i]) >= v })
+	if i >= len(row) || int(row[i]) != v {
+		panic(fmt.Sprintf("graph: arc %d->%d absent from CSR during patch", u, v))
+	}
+	return lo + i
+}
+
+// spliceRows derives a CSR from old where the marked rows changed
+// structurally: touched rows are rebuilt from the (already updated)
+// adjacency maps, untouched rows are block-copied from the old arrays.
+// Compared to a full buildCSR this skips the per-row map iteration and
+// sort for every untouched row, which is where the rebuild cost lives
+// when the batch touches a handful of vertices in a large graph.
+func spliceRows(g *Graph, old *CSR, touched []bool) *CSR {
+	next := &CSR{
+		n:      g.n,
+		rowPtr: make([]int, g.n+1),
+		wdeg:   make([]int64, g.n),
+	}
+	arcs := 0
+	for u := 0; u < g.n; u++ {
+		if touched[u] {
+			arcs += len(g.adj[u])
+		} else {
+			arcs += old.rowPtr[u+1] - old.rowPtr[u]
+		}
+	}
+	next.colIdx = make([]int32, arcs)
+	next.weights = make([]int64, arcs)
+	var row []int
+	at := 0
+	for u := 0; u < g.n; u++ {
+		if !touched[u] {
+			lo, hi := old.rowPtr[u], old.rowPtr[u+1]
+			at += copy(next.colIdx[at:], old.colIdx[lo:hi])
+			copy(next.weights[at-(hi-lo):], old.weights[lo:hi])
+			next.wdeg[u] = old.wdeg[u]
+		} else {
+			row = row[:0]
+			for v := range g.adj[u] {
+				row = append(row, v)
+			}
+			sort.Ints(row)
+			var wd int64
+			for _, v := range row {
+				w := g.adj[u][v]
+				next.colIdx[at] = int32(v)
+				next.weights[at] = w
+				at++
+				wd += w
+			}
+			next.wdeg[u] = wd
+		}
+		next.rowPtr[u+1] = at
+		next.totalW += next.wdeg[u]
+	}
+	next.totalW /= 2
+	return next
+}

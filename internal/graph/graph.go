@@ -11,12 +11,25 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync/atomic"
 
 	"repro/internal/trace"
 )
+
+// MaxVertices is the largest vertex count a Graph can hold: the CSR view
+// indexes neighbors with int32 IDs, so graphs must stay below 2^31
+// vertices. New and FromTrace reject larger inputs with
+// ErrTooManyVertices instead of building a graph whose Freeze would
+// panic.
+const MaxVertices = maxCSRVertices
+
+// ErrTooManyVertices is returned (wrapped) by New and FromTrace when the
+// requested vertex count reaches MaxVertices. Callers can errors.Is on
+// it to map oversized inputs to a client error instead of a crash.
+var ErrTooManyVertices = errors.New("graph: vertex count exceeds the CSR limit")
 
 // Edge is an undirected weighted edge with U < V.
 type Edge struct {
@@ -40,6 +53,9 @@ func New(n int) (*Graph, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("graph: need at least one vertex, got %d", n)
 	}
+	if n >= maxCSRVertices {
+		return nil, fmt.Errorf("graph: %d vertices: %w (limit %d)", n, ErrTooManyVertices, maxCSRVertices)
+	}
 	g := &Graph{n: n, adj: make([]map[int]int64, n)}
 	return g, nil
 }
@@ -55,19 +71,18 @@ func FromTrace(t *trace.Trace) (*Graph, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
+	// Reject oversized item spaces before allocating anything: a graph
+	// this wide could be assembled edge by edge, but its Freeze — which
+	// every placement path relies on — would panic on the int32 neighbor
+	// IDs of the CSR. Failing here turns a would-be panic deep in a
+	// worker into an ordinary validation error at the boundary.
+	if t.NumItems >= maxCSRVertices {
+		return nil, fmt.Errorf("graph: trace %q declares %d items: %w (limit %d)",
+			t.Name, t.NumItems, ErrTooManyVertices, maxCSRVertices)
+	}
 	g, err := New(t.NumItems)
 	if err != nil {
 		return nil, err
-	}
-	if t.NumItems >= maxCSRVertices {
-		// Packed uint64 keys need both endpoints to fit in 32 bits.
-		for i := 1; i < t.Len(); i++ {
-			u, v := t.Accesses[i-1].Item, t.Accesses[i].Item
-			if u != v {
-				g.AddWeight(u, v, 1)
-			}
-		}
-		return g, nil
 	}
 	counts := make(map[uint64]int64, t.NumItems)
 	for i := 1; i < t.Len(); i++ {

@@ -222,7 +222,11 @@ func (c *Cache) evictOldest() {
 // Nearest returns the most recently stored entry whose degree profile
 // matches and whose placement covers exactly n vertices — a structural
 // near-match suitable for warm-starting a fresh search. It does not bump
-// recency (a warm start is a hint, not a reuse).
+// recency (a warm start is a hint, not a reuse), and it does not count a
+// warm hit either: a candidate is only a hit once a consumer actually
+// adopts it (it must beat the consumer's own start), which the consumer
+// reports via NoteWarmApplied. Counting here would overstate warm hits by
+// every near-match that lost to the policy's cold start.
 func (c *Cache) Nearest(profile uint64, n int) (Key, Entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -234,12 +238,18 @@ func (c *Cache) Nearest(profile uint64, n int) (Key, Entry, bool) {
 		}
 		e := el.Value.(*node).entry
 		if len(e.Placement) == n {
-			obsWarmHits.Inc()
 			return keys[i], e, true
 		}
 	}
 	return Key{}, Entry{}, false
 }
+
+// NoteWarmApplied records that a placement returned by Nearest was
+// actually adopted as a search's starting point. Consumers call it at the
+// point of application, so the warm-hit counter (placecache.warm_hits and
+// Stats.WarmHits) measures warm starts that happened, not candidates that
+// were merely found.
+func (c *Cache) NoteWarmApplied() { obsWarmHits.Inc() }
 
 // Stats is a point-in-time summary of the cache.
 type Stats struct {

@@ -5,9 +5,15 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"strings"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/layout"
 	"repro/internal/obs"
+	"repro/internal/placecache"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -133,6 +139,74 @@ func TestCacheWarmstart(t *testing.T) {
 	checkPlacement(t, second, 48)
 	if got := obs.GetCounter("serve.cache.warmstarts").Value(); got != warm0+1 {
 		t.Fatalf("warmstart counter %d -> %d, want +1", warm0, got)
+	}
+}
+
+// TestCacheWarmstartRejectedNotCounted is the regression test for the
+// overcounting bug: Nearest used to bump the warm-hit counter when a
+// candidate was merely *found*, but the service only applies a warm start
+// when it beats the policy's own start. A deliberately bad near-match
+// must therefore leave both the service and cache counters untouched.
+func TestCacheWarmstartRejectedNotCounted(t *testing.T) {
+	s, base := startServer(t, Options{Workers: 1})
+	tr, err := trace.Decode(strings.NewReader(testTrace(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := g.Freeze().Canon()
+	propose, _, err := core.Propose(tr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proposeCost, err := cost.Linear(g, propose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Craft a placement strictly worse than the start the policy would
+	// pick on its own, and plant it as the profile's freshest entry.
+	rng := rand.New(rand.NewSource(77))
+	var bad layout.Placement
+	for {
+		p := layout.Placement(rng.Perm(tr.NumItems))
+		if c, err := cost.Linear(g, p); err == nil && c > proposeCost {
+			bad = p
+			break
+		}
+	}
+	badCost, err := cost.Linear(g, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.cache.Put(placecache.Key{
+		FP:     cn.FP,
+		Policy: servePolicyKey,
+		Device: serveDevice,
+		Seed:   12345, // never matches any effective seed below
+	}, placecache.Entry{
+		Placement: placecache.Canonize(bad, cn.Labeling),
+		Cost:      badCost,
+		Profile:   cn.Profile,
+	})
+
+	warm0 := obs.GetCounter("serve.cache.warmstarts").Value()
+	cacheWarm0 := obs.GetCounter("placecache.warm_hits").Value()
+	_, id := submit(t, base, PlaceRequest{Trace: testTrace(t), Seed: 6, Iterations: 20000})
+	st := waitDone(t, base, id)
+	if st.Status != statusDone {
+		t.Fatalf("job: %s (%s)", st.Status, st.Error)
+	}
+	if st.CacheHit {
+		t.Fatal("planted entry produced an exact hit")
+	}
+	if got := obs.GetCounter("serve.cache.warmstarts").Value(); got != warm0 {
+		t.Fatalf("rejected warm candidate was counted: %d -> %d", warm0, got)
+	}
+	if got := obs.GetCounter("placecache.warm_hits").Value(); got != cacheWarm0 {
+		t.Fatalf("rejected warm candidate bumped the cache counter: %d -> %d", cacheWarm0, got)
 	}
 }
 

@@ -263,6 +263,13 @@ func parseTrace(req PlaceRequest) (*trace.Trace, error) {
 	if tr.Len() == 0 {
 		return nil, fmt.Errorf("trace has no accesses")
 	}
+	// Reject item spaces beyond the CSR vertex limit here, at the HTTP
+	// boundary, so an oversized upload is a 400 — graph.FromTrace would
+	// reject it anyway, but only after the job was accepted, turning a
+	// client mistake into a failed job instead of a validation error.
+	if tr.NumItems >= graph.MaxVertices {
+		return nil, fmt.Errorf("trace declares %d items; the service supports at most %d", tr.NumItems, graph.MaxVertices-1)
+	}
 	return tr, nil
 }
 
@@ -294,11 +301,13 @@ func effectiveSeed(req PlaceRequest, tr *trace.Trace) int64 {
 // marked Partial. g, when non-nil, is the trace's pre-built transition
 // graph (the cache planner already paid for it); warm, when non-nil,
 // is a cached near-match that seeds the anneal if it beats the proposed
-// start. The checkpoint callback receives best-so-far placements as the
-// search progresses, and progress (optional) receives cumulative search
+// start; warmApplied (optional) fires exactly when that adoption happens,
+// so warm-start accounting reflects applications rather than lookups. The
+// checkpoint callback receives best-so-far placements as the search
+// progresses, and progress (optional) receives cumulative search
 // statistics for live introspection; both must be safe for concurrent
-// use, and neither influences the search.
-func execute(ctx context.Context, req PlaceRequest, tr *trace.Trace, g *graph.Graph, resume, warm layout.Placement, checkpoint func(layout.Placement, int64), progress func(core.AnnealProgress)) (*Result, error) {
+// use, and none of the callbacks influences the search.
+func execute(ctx context.Context, req PlaceRequest, tr *trace.Trace, g *graph.Graph, resume, warm layout.Placement, warmApplied func(), checkpoint func(layout.Placement, int64), progress func(core.AnnealProgress)) (*Result, error) {
 	if g == nil {
 		built, err := graph.FromTrace(tr)
 		if err != nil {
@@ -358,6 +367,9 @@ func execute(ctx context.Context, req PlaceRequest, tr *trace.Trace, g *graph.Gr
 	if resume == nil && warm != nil {
 		if wc, err := cost.Linear(g, warm); err == nil && wc < startCost {
 			start, startCost = warm, wc
+			if warmApplied != nil {
+				warmApplied()
+			}
 		}
 	}
 	// Record the starting point immediately: even a job cancelled

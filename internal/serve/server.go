@@ -55,6 +55,17 @@ var (
 	obsCacheHits       = obs.GetCounter("serve.cache.hits")
 	obsCacheMisses     = obs.GetCounter("serve.cache.misses")
 	obsCacheWarmstarts = obs.GetCounter("serve.cache.warmstarts")
+	// Streaming-session surface: sessions created and closed, append
+	// batches and the accesses they carried, and the append-latency
+	// distribution (which includes any improvement rounds the batch
+	// crossed — the any-time engine runs them inline with ingest).
+	obsStreamsCreated = obs.GetCounter("serve.stream.created")
+	obsStreamsClosed  = obs.GetCounter("serve.stream.closed")
+	obsStreamsLive    = obs.GetGauge("serve.stream.live")
+	obsStreamAppends  = obs.GetCounter("serve.stream.appends")
+	obsStreamAccesses = obs.GetCounter("serve.stream.accesses")
+	obsStreamAppendMS = obs.GetHistogram("serve.stream.append_ms",
+		[]float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000})
 )
 
 // Options configures a Server. The zero value selects the defaults.
@@ -139,6 +150,13 @@ type Server struct {
 	isReady   bool
 	nextID    int64
 	wg        sync.WaitGroup // worker pool
+
+	// Streaming sessions (see stream.go). Appends run inline in the
+	// handler — bounded improvement rounds, no worker pool — so shutdown
+	// only has to stop admitting new appends; in-flight ones finish under
+	// the HTTP server's own drain.
+	streams      map[string]*stream
+	nextStreamID int64
 }
 
 // New builds a Server and starts its worker pool. Callers must
@@ -152,6 +170,7 @@ func New(opts Options) *Server {
 		queue:     make(chan *job, opts.queueCap()),
 		accepting: true,
 		isReady:   true,
+		streams:   make(map[string]*stream),
 	}
 	if !opts.DisableCache {
 		s.cache = opts.Cache
@@ -162,6 +181,10 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/place", s.handlePlace)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/streams", s.handleStreamCreate)
+	s.mux.HandleFunc("POST /v1/streams/{id}/append", s.handleStreamAppend)
+	s.mux.HandleFunc("GET /v1/streams/{id}", s.handleStream)
+	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleStreamDelete)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -379,11 +402,12 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, j.snapshot(time.Now()))
 		return
 	}
+	// A miss is counted here; a warm start is NOT — a near-match found by
+	// the planner only becomes a warm start if execute adopts it over the
+	// policy's own start, and the accounting lives at that point of
+	// application (see runJob's warmApplied closure).
 	if plan != nil {
 		obsCacheMisses.Inc()
-		if plan.warm != nil {
-			obsCacheWarmstarts.Inc()
-		}
 	}
 
 	s.mu.Lock()
@@ -456,6 +480,119 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	j.requestCancel()
 	writeJSON(w, http.StatusAccepted, j.snapshot(time.Now()))
+}
+
+// handleStreamCreate opens a streaming placement session: 201 with the
+// initial status on success, 400 on an invalid item count, 503 once
+// shutdown has begun.
+func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
+	var req StreamRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid request body: " + err.Error()})
+		return
+	}
+	s.mu.Lock()
+	if !s.accepting {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
+		return
+	}
+	s.nextStreamID++
+	id := fmt.Sprintf("stream-%06d", s.nextStreamID)
+	st, err := newStream(id, req)
+	if err != nil {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	s.streams[id] = st
+	s.mu.Unlock()
+	obsStreamsCreated.Inc()
+	obsStreamsLive.Add(1)
+	writeJSON(w, http.StatusCreated, st.status())
+}
+
+// lookupStream finds a stream by ID.
+func (s *Server) lookupStream(id string) (*stream, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.streams[id]
+	return st, ok
+}
+
+// handleStreamAppend feeds accesses into a session and returns the
+// resulting status: 200 on success, 400 on an out-of-range access, 404
+// for an unknown stream, 503 once shutdown has begun. The append — and
+// any improvement rounds whose boundaries it crosses — runs inline, so a
+// successful response already reflects the appended accesses.
+func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookupStream(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such stream"})
+		return
+	}
+	s.mu.Lock()
+	accepting := s.accepting
+	s.mu.Unlock()
+	if !accepting {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
+		return
+	}
+	var req StreamAppendRequest
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid request body: " + err.Error()})
+		return
+	}
+	start := time.Now()
+	_, span := obs.StartSpan(r.Context(), "serve.stream.append")
+	defer span.End()
+	span.SetAttr("stream", st.id).SetAttr("accesses", len(req.Accesses))
+	// The session runs under a background context: an append is bounded
+	// work (at most a handful of fixed-budget rounds), and once admitted
+	// it completes even if the client goes away — the same accepted-work-
+	// is-never-dropped stance the job queue takes, and a prerequisite for
+	// the determinism contract (a half-applied append is not replayable).
+	if err := st.sess.Append(context.Background(), req.Accesses); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	obsStreamAppends.Inc()
+	obsStreamAccesses.Add(int64(len(req.Accesses)))
+	obsStreamAppendMS.Observe(time.Since(start).Milliseconds())
+	writeJSON(w, http.StatusOK, st.status())
+}
+
+// handleStream reports a stream's current placement, cost, and counters.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookupStream(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such stream"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st.status())
+}
+
+// handleStreamDelete closes a stream and returns its final status. The
+// session holds no external resources, so deletion is just registry
+// removal; in-flight appends on the same stream finish normally against
+// the session they already hold.
+func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	st, ok := s.streams[id]
+	if ok {
+		delete(s.streams, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such stream"})
+		return
+	}
+	obsStreamsClosed.Inc()
+	obsStreamsLive.Add(-1)
+	writeJSON(w, http.StatusOK, st.status())
 }
 
 // worker consumes jobs until the queue closes at shutdown, draining
@@ -545,7 +682,17 @@ func (s *Server) runJob(j *job) {
 		prebuiltGraph = j.plan.g
 		warm = j.plan.warm
 	}
-	res, err := execute(ctx, j.req, j.tr, prebuiltGraph, j.resume, warm, checkpoint, j.recordProgress)
+	// Warm-start accounting fires only when execute actually adopts the
+	// cached near-match (it must beat the policy's own start): both the
+	// service counter and the cache's own warm-hit stat measure
+	// applications, not lookups.
+	warmApplied := func() {
+		obsCacheWarmstarts.Inc()
+		if s.cache != nil {
+			s.cache.NoteWarmApplied()
+		}
+	}
+	res, err := execute(ctx, j.req, j.tr, prebuiltGraph, j.resume, warm, warmApplied, checkpoint, j.recordProgress)
 	if err != nil {
 		finish(nil, err.Error())
 		return

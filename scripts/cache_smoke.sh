@@ -148,6 +148,24 @@ if [ "$hits" -ne 2 ]; then
 	exit 1
 fi
 
+# Warm-start accounting must reconcile: the service-level counter and
+# the cache-level counter both tick at the point of *application* (a
+# candidate adopted as an anneal start), so they can never disagree —
+# regardless of whether this particular near-miss adopts its candidate.
+jq -Rs '{trace: ., seed: 8, iterations: 20000}' <"$dir/trace.txt" >"$dir/req_warm.json"
+id4=$(submit "$dir/req_warm.json")
+poll "$id4" "$dir/j4.json"
+if [ "$(jq -r '.cache_hit // false' "$dir/j4.json")" = "true" ]; then
+	echo "cache-smoke: different-seed submission reported an exact hit" >&2
+	exit 1
+fi
+warm_serve=$(metric dwm_serve_cache_warmstarts)
+warm_cache=$(metric dwm_placecache_warm_hits)
+if [ "$warm_serve" -ne "$warm_cache" ]; then
+	echo "cache-smoke: warm-start counters disagree: dwm_serve_cache_warmstarts=$warm_serve dwm_placecache_warm_hits=$warm_cache" >&2
+	exit 1
+fi
+
 # The cache series must not break /metrics conformance.
 curl -fsS "$base/metrics" >"$dir/metrics.txt"
 "$dir/promlint" "$dir/metrics.txt" || {
