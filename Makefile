@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint fmt-check test race bench-smoke bench-report merge-smoke determinism-smoke serve-smoke obs-smoke cache-smoke stream-smoke ci
+.PHONY: all build vet lint lint-self lint-bench fmt-check test race bench-smoke bench-report merge-smoke determinism-smoke serve-smoke obs-smoke cache-smoke stream-smoke ci
 
 all: ci
 
@@ -10,12 +10,26 @@ build:
 vet:
 	$(GO) vet ./...
 
-# dwmlint enforces the determinism contract (DESIGN.md §9): no global
-# RNG state, no wall-clock reads outside obs/the runner, no map-order
-# leaks into results, no naked goroutines. Zero unsuppressed
-# diagnostics required; exemptions carry //dwmlint:ignore justifications.
+# dwmlint enforces the determinism contract (DESIGN.md §9) and the
+# dataflow invariants (DESIGN.md §14): no global RNG state, no
+# wall-clock reads outside obs/the runner, no map-order leaks into
+# results, no naked goroutines, no retained caller slices, no frozen-CSR
+# or lock-contract violations, cancellation threaded everywhere. Zero
+# unsuppressed diagnostics required; exemptions carry //dwmlint:ignore
+# justifications. The golden fixtures run first so a broken analyzer
+# can't silently pass an unsound tree.
 lint:
+	$(GO) test ./internal/analysis/... -run 'TestSeededRand|TestMapOrder|TestWallTime|TestBareGo|TestSliceShare|TestFrozenMut|TestGuardedField|TestCtxFlow'
 	$(GO) run ./cmd/dwmlint ./...
+
+# The analyzers must hold themselves to their own rules.
+lint-self:
+	$(GO) run ./cmd/dwmlint ./internal/analysis/... ./cmd/dwmlint
+
+# Record the full-module dwmlint wall-clock under lint_bench in the
+# committed report (carried across dwmbench merges like delta_bench).
+lint-bench:
+	$(GO) run ./cmd/dwmlint -bench BENCH_dwmbench.json ./...
 
 # Fail if any file needs gofmt (prints the offenders).
 fmt-check:
@@ -106,4 +120,4 @@ cache-smoke:
 stream-smoke:
 	@GO="$(GO)" sh scripts/stream_smoke.sh
 
-ci: fmt-check vet lint build race bench-smoke merge-smoke determinism-smoke serve-smoke obs-smoke cache-smoke stream-smoke
+ci: fmt-check vet lint lint-self build race bench-smoke merge-smoke determinism-smoke serve-smoke obs-smoke cache-smoke stream-smoke

@@ -149,6 +149,10 @@ type benchReport struct {
 	// ./internal/graph` — but the report carries them across merges so a
 	// partial -only run never drops the record.
 	DeltaBench *deltaBenchReport `json:"delta_bench,omitempty"`
+	// LintBench records the dwmlint wall-clock over the whole module
+	// (written by `dwmlint -bench`, see the Makefile lint-bench target).
+	// Like DeltaBench it is carried across merges, not measured here.
+	LintBench *lintBenchReport `json:"lint_bench,omitempty"`
 }
 
 // deltaBenchReport pins the incremental-graph acceptance numbers: ns/op
@@ -161,6 +165,16 @@ type deltaBenchReport struct {
 	RebuildNS     int64   `json:"rebuild_ns_op"`
 	PatchSpeedup  float64 `json:"patch_speedup"`
 	SpliceSpeedup float64 `json:"splice_speedup"`
+}
+
+// lintBenchReport mirrors the lint_bench entry cmd/dwmlint -bench
+// writes: how long the full-module analysis run took and what it saw.
+type lintBenchReport struct {
+	Packages   int   `json:"packages"`
+	Analyzers  int   `json:"analyzers"`
+	Findings   int   `json:"findings"`
+	Suppressed int   `json:"suppressed"`
+	WallNS     int64 `json:"wall_ns"`
 }
 
 type expReport struct {
@@ -220,6 +234,7 @@ func run(ctx context.Context, opts options) error {
 	prior := map[string]expReport{}
 	var priorOrder []string
 	var priorDelta *deltaBenchReport
+	var priorLint *lintBenchReport
 	if opts.jsonPath != "" {
 		if raw, err := os.ReadFile(opts.jsonPath); err == nil {
 			var old benchReport
@@ -229,6 +244,7 @@ func run(ctx context.Context, opts options) error {
 					priorOrder = append(priorOrder, e.ID)
 				}
 				priorDelta = old.DeltaBench
+				priorLint = old.LintBench
 			}
 		}
 	}
@@ -301,7 +317,7 @@ func run(ctx context.Context, opts options) error {
 	}
 
 	if opts.jsonPath != "" {
-		if err := writeReport(opts, prior, priorOrder, priorDelta, results); err != nil {
+		if err := writeReport(opts, prior, priorOrder, priorDelta, priorLint, results); err != nil {
 			if runErr != nil {
 				return errors.Join(runErr, err)
 			}
@@ -344,7 +360,7 @@ func writeTrace(path string) error {
 // report and writes the result. Entries are ordered by the canonical
 // suite order (bench.All()); prior entries for IDs no longer in the
 // suite keep their original relative order at the end.
-func writeReport(opts options, prior map[string]expReport, priorOrder []string, priorDelta *deltaBenchReport, results []bench.RunResult) error {
+func writeReport(opts options, prior map[string]expReport, priorOrder []string, priorDelta *deltaBenchReport, priorLint *lintBenchReport, results []bench.RunResult) error {
 	effWorkers := opts.workers
 	if effWorkers <= 0 {
 		effWorkers = runtime.GOMAXPROCS(0)
@@ -383,6 +399,7 @@ func writeReport(opts options, prior map[string]expReport, priorOrder []string, 
 	snap := obs.Take()
 	rep.Metrics = &snap
 	rep.DeltaBench = priorDelta
+	rep.LintBench = priorLint
 
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

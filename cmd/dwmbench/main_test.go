@@ -161,3 +161,33 @@ func TestRunCanceledPreservesReport(t *testing.T) {
 		}
 	}
 }
+
+// lint_bench entries written by `dwmlint -bench` must survive dwmbench
+// report rewrites — the same carry-across-merges contract delta_bench
+// has, since dwmbench never measures the lint run itself.
+func TestRunCarriesLintBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(context.Background(), testOpts(1, false, false, 1, "E1", path)); err != nil {
+		t.Fatal(err)
+	}
+	rep := readReport(t, path)
+	rep.LintBench = &lintBenchReport{Packages: 38, Analyzers: 8, Suppressed: 23, WallNS: 12345}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run(context.Background(), testOpts(1, false, false, 1, "E1", path)); err != nil {
+		t.Fatal(err)
+	}
+	after := readReport(t, path)
+	if after.LintBench == nil {
+		t.Fatal("rewriting the report dropped the lint_bench entry")
+	}
+	if after.LintBench.WallNS != 12345 || after.LintBench.Packages != 38 {
+		t.Errorf("lint_bench rewritten: %+v", after.LintBench)
+	}
+}

@@ -118,6 +118,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	serveErr := make(chan error, 1)
 	//dwmlint:ignore barego the accept loop must run beside the signal wait; its only output is the error funneled through serveErr, collected below before return
+	//dwmlint:ignore ctxflow Serve exits via srv.Shutdown when ctx fires (the select below); handing it the signal ctx directly would abort in-flight requests
 	go func() { serveErr <- srv.Serve(ln) }()
 
 	select {
@@ -127,6 +128,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(out, "dwmserved: shutdown signal received, draining")
+	//dwmlint:ignore ctxflow the drain deadline must outlive the already-cancelled signal ctx — deriving it from ctx would make Shutdown return immediately
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {

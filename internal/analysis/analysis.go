@@ -43,9 +43,11 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// All returns the dwmlint analyzer suite in stable order.
+// All returns the dwmlint analyzer suite in stable order. The first four
+// are the syntactic determinism checks from DESIGN.md §9; the last four
+// are the dataflow analyzers from DESIGN.md §14.
 func All() []*Analyzer {
-	return []*Analyzer{SeededRand, MapOrder, WallTime, BareGo}
+	return []*Analyzer{SeededRand, MapOrder, WallTime, BareGo, SliceShare, FrozenMut, GuardedField, CtxFlow}
 }
 
 // ByName resolves a comma-separated analyzer list; an unknown name is an
@@ -87,6 +89,9 @@ type Pass struct {
 	PkgPath   string
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts answers cross-package questions (is this parameter written,
+	// retained, returned by the callee?). Never nil inside Run.
+	Facts *Facts
 
 	diags *[]Diagnostic
 }
@@ -118,8 +123,13 @@ func (d Diagnostic) String() string {
 
 // RunPackage applies the analyzers to one package and returns the
 // findings with suppression directives from the package's own files
-// already applied, sorted by position.
-func RunPackage(fset *token.FileSet, files []*ast.File, pkgPath string, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+// already applied, sorted by position. facts supplies cross-package
+// conclusions; nil means an empty store (every callee judged
+// optimistically).
+func RunPackage(fset *token.FileSet, files []*ast.File, pkgPath string, pkg *types.Package, info *types.Info, analyzers []*Analyzer, facts *Facts) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = NewFacts(fset)
+	}
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -129,6 +139,7 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkgPath string, pkg *typ
 			PkgPath:   pkgPath,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Facts:     facts,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {
@@ -156,29 +167,107 @@ func sortDiagnostics(diags []Diagnostic) {
 	})
 }
 
-// ignoreDirective is one parsed dwmlint:ignore comment.
+// ignoreDirective is one parsed dwmlint:ignore comment, together with
+// the source extent it binds to.
 type ignoreDirective struct {
 	analyzer      string
 	justification string
 	file          string
-	line          int
+	// line is the line the directive comment sits on; groupEnd is the
+	// last line of its comment group (a stacked block of directives
+	// above a statement all cover the statement).
+	line     int
+	groupEnd int
+	// doc marks a directive living in a declaration's doc comment; it
+	// then covers exactly [declStart, declEnd] and nothing else.
+	doc bool
+	// declStart/declEnd bound the declaration the directive binds to:
+	// the documented declaration for doc directives, the enclosing
+	// declaration otherwise. Zero when the directive floats between
+	// declarations.
+	declStart, declEnd int
 }
 
-const ignorePrefix = "//dwmlint:ignore"
+const (
+	ignorePrefix    = "//dwmlint:ignore"
+	directivePrefix = "//dwmlint:"
+)
+
+// directiveVerbs are the comment directives dwmlint understands. guard,
+// frozen and holds are annotations consumed by the dataflow analyzers
+// (DESIGN.md §14); ignore is the suppression directive.
+var directiveVerbs = map[string]bool{
+	"ignore": true,
+	"guard":  true,
+	"frozen": true,
+	"holds":  true,
+}
+
+// knownAnalyzer reports whether name names an analyzer in the suite.
+func knownAnalyzer(name string) bool {
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func validAnalyzerNames() string {
+	var valid []string
+	for _, a := range All() {
+		valid = append(valid, a.Name)
+	}
+	return strings.Join(valid, ", ")
+}
+
+// declLineRange is the line extent of one top-level declaration.
+type declLineRange struct {
+	start, end int
+	doc        *ast.CommentGroup
+}
 
 // parseDirectives extracts every dwmlint:ignore directive from the
-// files. Malformed directives (no analyzer name or no justification) are
-// returned as diagnostics so a bare ignore can never silence a finding.
+// files and resolves the extent each one binds to. Malformed directives
+// — no analyzer name, no justification, an analyzer name that does not
+// exist, or an unknown dwmlint: verb — are returned as diagnostics so a
+// bad directive can never silence a finding.
 func parseDirectives(fset *token.FileSet, files []*ast.File) (list []ignoreDirective, bad []Diagnostic) {
 	for _, f := range files {
+		var decls []declLineRange
+		for _, decl := range f.Decls {
+			r := declLineRange{
+				start: fset.Position(decl.Pos()).Line,
+				end:   fset.Position(decl.End()).Line,
+			}
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				r.doc = d.Doc
+			case *ast.GenDecl:
+				r.doc = d.Doc
+			}
+			decls = append(decls, r)
+		}
 		for _, cg := range f.Comments {
+			groupEnd := fset.Position(cg.End()).Line
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePrefix) {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
 					continue
 				}
-				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
-				name, justification, _ := strings.Cut(rest, " ")
 				pos := fset.Position(c.Pos())
+				verb, rest, _ := strings.Cut(strings.TrimPrefix(c.Text, directivePrefix), " ")
+				if !directiveVerbs[verb] {
+					bad = append(bad, Diagnostic{
+						Analyzer: "dwmlint",
+						Pos:      pos,
+						Message:  fmt.Sprintf("unknown directive dwmlint:%s (valid: ignore, guard, frozen, holds)", verb),
+					})
+					continue
+				}
+				if verb != "ignore" {
+					continue
+				}
+				name, justification, _ := strings.Cut(strings.TrimSpace(rest), " ")
 				if name == "" || strings.TrimSpace(justification) == "" {
 					bad = append(bad, Diagnostic{
 						Analyzer: "dwmlint",
@@ -187,91 +276,78 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) (list []ignoreDirec
 					})
 					continue
 				}
-				list = append(list, ignoreDirective{
+				if !knownAnalyzer(name) {
+					bad = append(bad, Diagnostic{
+						Analyzer: "dwmlint",
+						Pos:      pos,
+						Message:  fmt.Sprintf("dwmlint:ignore names unknown analyzer %q (valid: %s)", name, validAnalyzerNames()),
+					})
+					continue
+				}
+				dir := ignoreDirective{
 					analyzer:      name,
 					justification: strings.TrimSpace(justification),
 					file:          pos.Filename,
 					line:          pos.Line,
-				})
+					groupEnd:      groupEnd,
+				}
+				for _, r := range decls {
+					if r.doc == cg {
+						dir.doc = true
+						dir.declStart, dir.declEnd = r.start, r.end
+						break
+					}
+					if pos.Line >= r.start && pos.Line <= r.end {
+						dir.declStart, dir.declEnd = r.start, r.end
+						break
+					}
+				}
+				list = append(list, dir)
 			}
 		}
 	}
 	return list, bad
 }
 
-// funcRange is the source extent of a function whose doc comment carries
-// ignore directives; such directives cover the whole body.
-type funcRange struct {
-	file       string
-	start, end int
-	directives []ignoreDirective
-}
-
-func docDirectiveRanges(fset *token.FileSet, files []*ast.File, directives []ignoreDirective) []funcRange {
-	var out []funcRange
-	for _, f := range files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Doc == nil {
-				continue
-			}
-			docStart := fset.Position(fd.Doc.Pos())
-			docEnd := fset.Position(fd.Doc.End())
-			var covering []ignoreDirective
-			for _, d := range directives {
-				if d.file == docStart.Filename && d.line >= docStart.Line && d.line <= docEnd.Line {
-					covering = append(covering, d)
-				}
-			}
-			if len(covering) == 0 {
-				continue
-			}
-			out = append(out, funcRange{
-				file:       docStart.Filename,
-				start:      fset.Position(fd.Pos()).Line,
-				end:        fset.Position(fd.End()).Line,
-				directives: covering,
-			})
-		}
+// covers reports whether the directive suppresses a finding at the given
+// line of its file.
+func (dir ignoreDirective) covers(line int) bool {
+	if dir.doc {
+		// A doc-comment directive covers exactly the declaration it
+		// documents — never the one after it, even when the documented
+		// body is empty.
+		return line >= dir.declStart && line <= dir.declEnd
 	}
-	return out
+	// An inline directive covers its own line or the line directly below
+	// its comment group (so stacked directives for several analyzers all
+	// reach the statement under them) — but never across a declaration
+	// boundary: a trailing directive on a one-line method must not leak
+	// onto the next declaration.
+	if dir.line != line && dir.groupEnd != line-1 {
+		return false
+	}
+	if dir.declStart != 0 && (line < dir.declStart || line > dir.declEnd) {
+		return false
+	}
+	return true
 }
 
 // ApplySuppressions marks diagnostics covered by dwmlint:ignore
-// directives in the given files (same line, the line above, or the doc
-// comment of the enclosing function) and returns extra diagnostics for
-// malformed directives. The input slice is modified in place.
+// directives in the given files (same line, a directive block directly
+// above, or the doc comment of the enclosing declaration) and returns
+// extra diagnostics for malformed directives. The input slice is
+// modified in place.
 func ApplySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
 	directives, bad := parseDirectives(fset, files)
-	ranges := docDirectiveRanges(fset, files, directives)
 	for i := range diags {
 		d := &diags[i]
-	match:
 		for _, dir := range directives {
 			if dir.analyzer != d.Analyzer || dir.file != d.Pos.Filename {
 				continue
 			}
-			if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+			if dir.covers(d.Pos.Line) {
 				d.Suppressed = true
 				d.Justification = dir.justification
-				break match
-			}
-		}
-		if d.Suppressed {
-			continue
-		}
-		for _, r := range ranges {
-			if r.file != d.Pos.Filename || d.Pos.Line < r.start || d.Pos.Line > r.end {
-				continue
-			}
-			for _, dir := range r.directives {
-				if dir.analyzer == d.Analyzer {
-					d.Suppressed = true
-					d.Justification = dir.justification
-					break
-				}
-			}
-			if d.Suppressed {
 				break
 			}
 		}

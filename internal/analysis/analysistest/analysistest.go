@@ -51,7 +51,9 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 			t.Errorf("%s: %v", pkg, err)
 			continue
 		}
-		diags, err := analysis.RunPackage(loader.Fset, checked.Files, pkg, checked.Types, checked.Info, []*analysis.Analyzer{a})
+		facts := analysis.NewFacts(loader.Fset)
+		facts.AddPackage(checked.Files, checked.Info)
+		diags, err := analysis.RunPackage(loader.Fset, checked.Files, pkg, checked.Types, checked.Info, []*analysis.Analyzer{a}, facts)
 		if err != nil {
 			t.Errorf("%s: %v", pkg, err)
 			continue

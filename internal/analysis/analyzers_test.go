@@ -26,6 +26,22 @@ func TestBareGo(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.BareGo, "barego")
 }
 
+func TestSliceShare(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.SliceShare, "sliceshare")
+}
+
+func TestFrozenMut(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.FrozenMut, "frozenmut")
+}
+
+func TestGuardedField(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.GuardedField, "guardedfield")
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.CtxFlow, "ctxflow")
+}
+
 func TestByName(t *testing.T) {
 	got, err := analysis.ByName("maporder, walltime")
 	if err != nil {

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow generalizes barego from "no naked goroutines" to "cancellation
+// must flow": inside a function that already receives a context
+// (directly, or via *http.Request), a goroutine that never references a
+// context cannot be cancelled, a context.Background()/TODO() severs the
+// caller's cancellation and deadline, and an unbounded for-loop that
+// never consults a context can spin past shutdown. Independently of any
+// parameter, discarding the cancel func of context.WithCancel/
+// WithTimeout/WithDeadline leaks the context's resources.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flags goroutines, unbounded loops, and context.Background()/TODO() " +
+		"uses inside functions that already receive a context, and discarded " +
+		"cancel functions anywhere",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxFlow(pass, fd)
+		}
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	return t != nil && t.String() == "context.Context"
+}
+
+func isRequestPtr(t types.Type) bool {
+	return t != nil && t.String() == "*net/http.Request"
+}
+
+// mentionsContext reports whether any expression under n has type
+// context.Context — a ctx identifier, a cfg.ctx selector, an r.Context()
+// call, a <-ctx.Done() receive all count.
+func mentionsContext(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := m.(ast.Expr); ok && isContextType(info.TypeOf(e)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func checkCtxFlow(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	hasCtx := false
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			t := info.TypeOf(f.Type)
+			if isContextType(t) || isRequestPtr(t) {
+				hasCtx = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if hasCtx && !mentionsContext(info, n.Call) {
+				pass.Reportf(n.Pos(),
+					"goroutine in a context-bearing function never references a context; thread ctx so it can observe cancellation")
+			}
+		case *ast.ForStmt:
+			if hasCtx && n.Cond == nil && !mentionsContext(info, n.Body) {
+				pass.Reportf(n.Pos(),
+					"unbounded for-loop in a context-bearing function never checks a context; select on ctx.Done() or bound the loop")
+			}
+		case *ast.CallExpr:
+			callee := calleeFunc(info, n)
+			if callee == nil {
+				return true
+			}
+			if hasCtx {
+				switch callee.FullName() {
+				case "context.Background", "context.TODO":
+					pass.Reportf(n.Pos(),
+						"%s() inside a function that already receives a context severs cancellation; thread the caller's ctx instead", callee.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			// ctx, _ := context.WithCancel(...) — the cancel func must
+			// not be discarded.
+			if len(n.Lhs) != 2 || len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil {
+				return true
+			}
+			switch callee.FullName() {
+			case "context.WithCancel", "context.WithTimeout", "context.WithDeadline":
+				if id, ok := n.Lhs[1].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(n.Pos(),
+						"cancel function of %s discarded; call it (usually via defer) to release the context", callee.Name())
+				}
+			}
+		}
+		return true
+	})
+}

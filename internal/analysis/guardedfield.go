@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// GuardedField enforces lock annotations: a struct field declared as
+//
+//	jobs map[string]*job //dwmlint:guard mu
+//
+// may only be read or written while the sibling mutex field mu is held
+// in the same function — a mu.Lock() (or RLock) textually before the
+// access with no intervening Unlock, or a deferred Unlock. Two escape
+// hatches keep the rule honest: a //dwmlint:holds mu doc directive marks
+// helpers whose documented contract is "callers hold mu" (the
+// Session.publish pattern), and accesses through a locally-allocated
+// value are construction, not shared-state access.
+//
+// The check is per function scope and flow-insensitive: a lock anywhere
+// before the access counts, so conditional locking can under-report but
+// never false-positives on the straight-line code this module writes.
+// Function literals are independent scopes — a closure that runs later
+// must take the lock itself.
+var GuardedField = &Analyzer{
+	Name: "guardedfield",
+	Doc: "flags reads/writes of //dwmlint:guard fields outside a Lock/Unlock " +
+		"interval of the named mutex in the same function scope " +
+		"(//dwmlint:holds on a helper asserts its callers hold the lock)",
+	Run: runGuardedField,
+}
+
+func runGuardedField(pass *Pass) error {
+	guards := fieldDirectives(pass.TypesInfo, pass.Files, "guard")
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			holds := map[string]bool{}
+			for _, g := range holdsGuards(fd) {
+				holds[g] = true
+			}
+			checkGuardScope(pass, fd.Body, guards, holds)
+		}
+	}
+	return nil
+}
+
+// lockEvent is one mutex operation in a scope.
+type lockEvent struct {
+	pos   token.Pos
+	delta int // +1 lock, -1 unlock
+}
+
+type lockKey struct {
+	root  types.Object
+	guard string
+}
+
+// guardAccess is one read/write of a guarded field.
+type guardAccess struct {
+	pos   token.Pos
+	field *types.Var
+	root  types.Object
+	guard string
+}
+
+// checkGuardScope analyzes one function scope. Nested function literals
+// are collected and recursed into as scopes of their own (without holds
+// assertions — a closure cannot carry a doc directive).
+func checkGuardScope(pass *Pass, body *ast.BlockStmt, guards map[*types.Var][]string, holds map[string]bool) {
+	info := pass.TypesInfo
+	local := localAllocs(info, body)
+	locks := map[lockKey][]lockEvent{}
+	deferred := map[lockKey]bool{}
+	var accesses []guardAccess
+	var nested []*ast.FuncLit
+	deferredCalls := map[*ast.CallExpr]bool{}
+	abortCalls := abortPathCalls(body)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			nested = append(nested, n)
+			return false
+		case *ast.DeferStmt:
+			deferredCalls[n.Call] = true
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				break
+			}
+			var delta int
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				delta = 1
+			case "Unlock", "RUnlock":
+				delta = -1
+			default:
+				return true
+			}
+			// The receiver must be root.guard (s.mu.Lock()).
+			guardSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			root := rootIdent(guardSel.X)
+			if root == nil {
+				return true
+			}
+			obj := info.ObjectOf(root)
+			if obj == nil {
+				return true
+			}
+			k := lockKey{root: obj, guard: guardSel.Sel.Name}
+			if delta < 0 && deferredCalls[n] {
+				// defer mu.Unlock(): the lock stays held to scope end.
+				deferred[k] = true
+				return true
+			}
+			if delta < 0 && abortCalls[n] {
+				// Unlock on an early-exit path (if err { mu.Unlock();
+				// return }): the fall-through path is still locked, so
+				// this unlock must not end the interval.
+				return true
+			}
+			locks[k] = append(locks[k], lockEvent{pos: n.Pos(), delta: delta})
+			return true
+		case *ast.SelectorExpr:
+			s, ok := info.Selections[n]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			fld, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			names, guarded := guards[fld]
+			if !guarded || len(names) == 0 {
+				return true
+			}
+			root := rootIdent(n.X)
+			if root == nil {
+				return true
+			}
+			obj := info.ObjectOf(root)
+			if obj == nil {
+				return true
+			}
+			accesses = append(accesses, guardAccess{pos: n.Pos(), field: fld, root: obj, guard: names[0]})
+			return true
+		}
+		return true
+	})
+
+	for k := range locks {
+		sort.Slice(locks[k], func(i, j int) bool { return locks[k][i].pos < locks[k][j].pos })
+	}
+	for _, a := range accesses {
+		if holds[a.guard] || local[a.root] {
+			continue
+		}
+		k := lockKey{root: a.root, guard: a.guard}
+		if deferred[k] && heldBefore(locks[k], a.pos) || !deferred[k] && heldAt(locks[k], a.pos) {
+			continue
+		}
+		pass.Reportf(a.pos,
+			"field %s is guarded by %s but accessed without holding it (lock %s.%s, or mark the helper //dwmlint:holds %s)",
+			a.field.Name(), a.guard, a.root.Name(), a.guard, a.guard)
+	}
+	for _, fl := range nested {
+		checkGuardScope(pass, fl.Body, guards, map[string]bool{})
+	}
+}
+
+// abortPathCalls collects the call expressions that sit in a block
+// terminated by return, break, continue, goto, or panic — excluding the
+// scope's own body, whose trailing return is the normal exit. An Unlock
+// there belongs to an early-exit path and does not end the hold for the
+// code after the block.
+func abortPathCalls(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	out := map[*ast.CallExpr]bool{}
+	mark := func(stmts []ast.Stmt) {
+		if len(stmts) == 0 || !isTerminatingStmt(stmts[len(stmts)-1]) {
+			return
+		}
+		for _, st := range stmts {
+			if es, ok := st.(*ast.ExprStmt); ok {
+				if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok {
+					out[call] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			if n != body {
+				mark(n.List)
+			}
+		case *ast.CaseClause:
+			mark(n.Body)
+		case *ast.CommClause:
+			mark(n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+func isTerminatingStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}
+
+// heldAt reports whether the lock depth is positive just before pos.
+func heldAt(events []lockEvent, pos token.Pos) bool {
+	depth := 0
+	for _, e := range events {
+		if e.pos >= pos {
+			break
+		}
+		depth += e.delta
+	}
+	return depth > 0
+}
+
+// heldBefore is heldAt for scopes with a deferred Unlock: any Lock
+// before the access keeps it held (the unlock only runs at scope exit).
+func heldBefore(events []lockEvent, pos token.Pos) bool {
+	for _, e := range events {
+		if e.pos < pos && e.delta > 0 {
+			return true
+		}
+	}
+	return false
+}

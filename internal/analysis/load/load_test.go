@@ -1,7 +1,12 @@
 package load
 
 import (
+	"encoding/json"
 	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -63,5 +68,80 @@ func TestLoadUnknownPackageFails(t *testing.T) {
 	l := NewLoader(".")
 	if _, err := l.Load("repro/internal/nosuchpkg"); err == nil {
 		t.Fatal("Load of a nonexistent package succeeded")
+	}
+}
+
+// fakeGoTool installs a shell script named `go` at the front of PATH so
+// the loader's exec.Command("go", ...) runs it instead of the real
+// toolchain. The script appends the CGO_ENABLED value it saw to the
+// returned marker file and then replays the given stdout payload.
+func fakeGoTool(t *testing.T, stdout string) (marker string) {
+	t.Helper()
+	dir := t.TempDir()
+	marker = filepath.Join(dir, "env.seen")
+	payload := filepath.Join(dir, "stdout.json")
+	if err := os.WriteFile(payload, []byte(stdout), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	script := "#!/bin/sh\necho \"CGO_ENABLED=$CGO_ENABLED\" >> \"$FAKE_GO_MARKER\"\ncat \"$FAKE_GO_STDOUT\"\n"
+	if err := os.WriteFile(filepath.Join(dir, "go"), []byte(script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("FAKE_GO_MARKER", marker)
+	t.Setenv("FAKE_GO_STDOUT", payload)
+	t.Setenv("PATH", dir+string(os.PathListSeparator)+os.Getenv("PATH"))
+	return marker
+}
+
+func TestListRunsGoWithCgoDisabled(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("fake go tool is a shell script")
+	}
+	// One self-contained package, so Load succeeds without the real
+	// toolchain: the fake returns its metadata and the loader parses and
+	// type-checks the file itself.
+	pkgDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(pkgDir, "p.go"), []byte("package p\n\nfunc F() int { return 1 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := json.Marshal(map[string]any{
+		"ImportPath": "example.com/p",
+		"Dir":        pkgDir,
+		"Name":       "p",
+		"GoFiles":    []string{"p.go"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker := fakeGoTool(t, string(meta))
+	l := NewLoader(".")
+	pkgs, err := l.Load("example.com/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Types.Scope().Lookup("F") == nil {
+		t.Fatalf("Load through the fake go tool returned %v", pkgs)
+	}
+	seen, err := os.ReadFile(marker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(seen), "CGO_ENABLED=0") {
+		t.Fatalf("go list ran without CGO_ENABLED=0 in its environment; saw %q", seen)
+	}
+}
+
+func TestCorruptListOutputIsWrappedError(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("fake go tool is a shell script")
+	}
+	fakeGoTool(t, `{"ImportPath": "example.com/broken", "GoFiles": [truncated`)
+	l := NewLoader(".")
+	_, err := l.Load("example.com/broken")
+	if err == nil {
+		t.Fatal("Load accepted corrupt go list output")
+	}
+	if !strings.Contains(err.Error(), "decoding go list output:") {
+		t.Fatalf("corrupt go list output produced %q, want a wrapped decoding error", err)
 	}
 }

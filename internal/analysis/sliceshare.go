@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// SliceShare flags the PR 7 Warmstart bug class: a slice that aliases
+// caller-owned memory (a slice parameter, or a slice field of a struct
+// parameter like opts.Warmstart) is kept beyond the call — returned,
+// stored into a field or global, or handed to a callee that retains it
+// into mutable state — while also being written through. The caller's
+// slice silently changes under it. Copy first: slices.Clone, a Clone
+// method, or the append-to-fresh idiom are all recognized as safe.
+var SliceShare = &Analyzer{
+	Name: "sliceshare",
+	Doc: "flags slice parameters (or struct-parameter slice fields) that are " +
+		"stored or returned without a copy and also written through, mutating " +
+		"the caller's memory; slices.Clone / .Clone() / append-then-return are safe",
+	Run: runSliceShare,
+}
+
+func runSliceShare(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSliceShare(pass, fd)
+		}
+	}
+	return nil
+}
+
+// perSource aggregates tracker events for one aliased value.
+type perSource struct {
+	src         sliceSource
+	writtenPos  token.Pos // first write through the alias
+	retainedPos token.Pos // first retention (field/global store)
+	returnedPos token.Pos // first return of the alias
+}
+
+func checkSliceShare(pass *Pass, fd *ast.FuncDecl) {
+	agg := map[string]*perSource{}
+	get := func(src sliceSource) *perSource {
+		k := src.key()
+		if agg[k] == nil {
+			agg[k] = &perSource{src: src}
+		}
+		return agg[k]
+	}
+	trackSlices(pass.TypesInfo, pass.Facts, fd, func(ev sliceEvent) {
+		a := get(ev.src)
+		switch ev.kind {
+		case eventWritten:
+			if a.writtenPos == token.NoPos {
+				a.writtenPos = ev.pos
+			}
+		case eventRetainedField:
+			if a.retainedPos == token.NoPos {
+				a.retainedPos = ev.pos
+			}
+			// Retention into a field that other code writes through is
+			// reported immediately: the caller's slice is now aliased
+			// by mutable state even if this function never writes it.
+			if ev.field != nil && pass.Facts.FieldElementWritten(ev.field) {
+				pass.Reportf(ev.pos,
+					"%s aliases the caller's slice and is stored into field %s, which is written through elsewhere; clone it first (slices.Clone)",
+					ev.src.describe(), ev.field.Name())
+			}
+		case eventRetainedGlobal:
+			if a.retainedPos == token.NoPos {
+				a.retainedPos = ev.pos
+			}
+		case eventReturned:
+			if a.returnedPos == token.NoPos {
+				a.returnedPos = ev.pos
+			}
+		case eventPassed:
+			// A mutation-free callee cannot write or retain anything.
+			if pass.Facts.MutationFree(ev.callee) {
+				return
+			}
+			cf := pass.Facts.SliceFacts(ev.callee)
+			if cf == nil {
+				return // unknown callee: judged optimistically
+			}
+			pf := cf.param(ev.argIdx)
+			if pf == nil {
+				return
+			}
+			if pf.EscapesMutable {
+				pass.Reportf(ev.pos,
+					"passing %s to %s stores the caller's slice in mutable state (a field that is written through); clone it first (slices.Clone)",
+					ev.src.describe(), ev.callee.Name())
+				return
+			}
+			if pf.Written && a.writtenPos == token.NoPos {
+				a.writtenPos = ev.pos
+			}
+			if pf.Retained && a.retainedPos == token.NoPos {
+				a.retainedPos = ev.pos
+			}
+			// pf.ReturnedAlias needs no action here: classify() already
+			// propagates dirtiness through the call result.
+		}
+	})
+	for _, a := range sortedSources(agg) {
+		if a.writtenPos == token.NoPos {
+			continue
+		}
+		switch {
+		case a.retainedPos != token.NoPos:
+			pass.Reportf(a.writtenPos,
+				"%s aliases the caller's slice and is both written through and stored beyond the call; clone it before writing",
+				a.src.describe())
+		case a.returnedPos != token.NoPos:
+			pass.Reportf(a.writtenPos,
+				"%s aliases the caller's slice and is written through before being returned; clone it before writing",
+				a.src.describe())
+		}
+	}
+}
+
+// sortedSources returns the aggregates in sorted-key order so
+// diagnostics are deterministic regardless of map iteration order.
+func sortedSources(agg map[string]*perSource) []*perSource {
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*perSource, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, agg[k])
+	}
+	return out
+}

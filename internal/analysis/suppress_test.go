@@ -94,6 +94,95 @@ func b() {}
 	}
 }
 
+func TestDocDirectiveDoesNotLeakPastDecl(t *testing.T) {
+	// The directive sits on an empty method's doc comment. Before the
+	// decl-bounding fix, a directive group ending on line N covered line
+	// N+1 unconditionally — here the next decl's opening line.
+	fset, files := parseSrc(t, `package p
+
+type T struct{}
+
+//dwmlint:ignore walltime stub keeps the interface satisfied
+func (T) Stub() {}
+func g() {
+	a()
+}
+func a() {}
+`)
+	diags := []Diagnostic{
+		diagAt(fset, "walltime", 6), // inside Stub: covered
+		diagAt(fset, "walltime", 7), // g's opening line: must NOT be covered
+		diagAt(fset, "walltime", 8), // inside g: must NOT be covered
+	}
+	bad := ApplySuppressions(fset, files, diags)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-directive diagnostics: %v", bad)
+	}
+	want := []bool{true, false, false}
+	for i, d := range diags {
+		if d.Suppressed != want[i] {
+			t.Errorf("diag %d (line %d): suppressed=%v, want %v", i, d.Pos.Line, d.Suppressed, want[i])
+		}
+	}
+}
+
+func TestStackedDirectivesCoverNextLine(t *testing.T) {
+	// Two directives in one comment group both cover the statement after
+	// the group (the barego+ctxflow pattern over one go statement).
+	fset, files := parseSrc(t, `package p
+
+func f() {
+	//dwmlint:ignore barego join handled below
+	//dwmlint:ignore ctxflow ctx threaded through the closure
+	a()
+}
+func a() {}
+`)
+	diags := []Diagnostic{
+		diagAt(fset, "barego", 6),
+		diagAt(fset, "ctxflow", 6),
+		diagAt(fset, "walltime", 6), // not named by either directive
+	}
+	bad := ApplySuppressions(fset, files, diags)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-directive diagnostics: %v", bad)
+	}
+	want := []bool{true, true, false}
+	for i, d := range diags {
+		if d.Suppressed != want[i] {
+			t.Errorf("diag %d (%s): suppressed=%v, want %v", i, d.Analyzer, d.Suppressed, want[i])
+		}
+	}
+}
+
+func TestUnknownAnalyzerAndVerbAreReported(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+func f() {
+	//dwmlint:ignore walltme typo in the analyzer name
+	a()
+	//dwmlint:silence walltime unknown verb
+	b()
+}
+func a() {}
+func b() {}
+`)
+	diags := []Diagnostic{diagAt(fset, "walltime", 5)}
+	bad := ApplySuppressions(fset, files, diags)
+	if len(bad) != 2 {
+		t.Fatalf("expected 2 malformed-directive diagnostics, got %d: %v", len(bad), bad)
+	}
+	if !strings.Contains(bad[0].Message, `unknown analyzer "walltme"`) {
+		t.Errorf("misspelled analyzer message %q does not name the typo", bad[0].Message)
+	}
+	if !strings.Contains(bad[1].Message, "unknown directive dwmlint:silence") {
+		t.Errorf("unknown verb message %q does not name the verb", bad[1].Message)
+	}
+	if diags[0].Suppressed {
+		t.Error("a misspelled directive must not suppress anything")
+	}
+}
+
 func TestBareDirectiveIsReported(t *testing.T) {
 	fset, files := parseSrc(t, `package p
 

@@ -1,0 +1,58 @@
+package ctxflow
+
+import "context"
+
+func step() {}
+
+// fanout: the first goroutine can never observe cancellation; the second
+// references ctx and is fine.
+func fanout(ctx context.Context, work func()) {
+	go work() // want `goroutine in a context-bearing function never references a context`
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+// spin never consults the context it was handed.
+func spin(ctx context.Context) {
+	for { // want `unbounded for-loop in a context-bearing function never checks a context`
+		step()
+	}
+}
+
+// poll must not fire: the loop selects on ctx.Done().
+func poll(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+			step()
+		}
+	}
+}
+
+// sever drops the caller's cancellation and deadline on the floor.
+func sever(ctx context.Context, f func(context.Context)) {
+	f(context.Background()) // want `Background\(\) inside a function that already receives a context severs cancellation`
+}
+
+// leak discards the cancel func, leaking the derived context's timer and
+// goroutine. This fires even without a context parameter in scope.
+func leak(parent context.Context) context.Context {
+	cctx, _ := context.WithCancel(parent) // want `cancel function of WithCancel discarded`
+	return cctx
+}
+
+// noCtx must not fire: without a context parameter there is nothing to
+// thread — naked goroutines are barego's business.
+func noCtx(work func()) {
+	go work()
+}
+
+// drain exercises suppression.
+func drain(ctx context.Context, done func()) {
+	//dwmlint:ignore ctxflow fixture: the drain goroutine must outlive cancellation by design
+	go done()
+}

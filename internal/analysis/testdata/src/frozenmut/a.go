@@ -1,0 +1,69 @@
+package frozenmut
+
+type csr struct {
+	rowPtr []int //dwmlint:frozen applyDeltas
+	n      int
+}
+
+// applyDeltas is the sanctioned mutator.
+func applyDeltas(c *csr, v int) {
+	c.rowPtr[0] = v
+	bump(c)
+}
+
+// bump is unexported and called only from applyDeltas, so the sanction
+// extends to it.
+func bump(c *csr) {
+	c.rowPtr[1]++
+}
+
+// corrupt writes the frozen field outside the sanctioned set, in every
+// shape the analyzer knows: element write, copy destination, wholesale
+// reassignment.
+func corrupt(c *csr, src []int) {
+	c.rowPtr[0] = 7     // want `frozen field rowPtr written outside its sanctioned functions`
+	copy(c.rowPtr, src) // want `frozen field rowPtr written outside its sanctioned functions`
+	c.rowPtr = nil      // want `frozen field rowPtr written outside its sanctioned functions`
+}
+
+// fill writes through its slice parameter, so passing the frozen field
+// to it is a mutation by proxy.
+func fill(p []int) {
+	for i := range p {
+		p[i] = i
+	}
+}
+
+func smear(c *csr) {
+	fill(c.rowPtr) // want `frozen field rowPtr written outside its sanctioned functions`
+}
+
+// Reset is exported: external callers could reach it, so it stays
+// outside the sanctioned set even though nothing in this package calls
+// it.
+func Reset(c *csr) {
+	c.rowPtr = c.rowPtr[:0] // want `frozen field rowPtr written outside its sanctioned functions`
+}
+
+// build must not fire: writes through a locally-allocated value are
+// construction, not mutation of shared state.
+func build(n int) *csr {
+	c := &csr{rowPtr: make([]int, n)}
+	c.rowPtr[0] = n
+	return c
+}
+
+// total must not fire: reads are always allowed.
+func total(c *csr) int {
+	t := 0
+	for _, v := range c.rowPtr {
+		t += v
+	}
+	return t
+}
+
+// repair exercises suppression.
+func repair(c *csr) {
+	//dwmlint:ignore frozenmut fixture: invariant repair in a test helper is deliberate
+	c.rowPtr[0] = 0
+}

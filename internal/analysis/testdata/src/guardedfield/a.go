@@ -1,0 +1,76 @@
+package guardedfield
+
+import "sync"
+
+type server struct {
+	mu    sync.Mutex
+	jobs  map[string]int //dwmlint:guard mu
+	count int            //dwmlint:guard mu
+}
+
+// get must not fire: deferred unlock holds the lock to scope end.
+func get(s *server, k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[k]
+}
+
+// admit must not fire: the early-exit unlock inside the if-block belongs
+// to the aborting path and does not end the hold for the fall-through
+// accesses (the serve.Server handlePlace pattern).
+func admit(s *server, k string) bool {
+	s.mu.Lock()
+	if s.count > 10 {
+		s.mu.Unlock()
+		return false
+	}
+	s.count++
+	s.jobs[k] = s.count
+	s.mu.Unlock()
+	return true
+}
+
+// racy reads the guarded field with no lock at all.
+func racy(s *server) int {
+	return s.count // want `field count is guarded by mu but accessed without holding it`
+}
+
+// stale accesses the field after the unlock.
+func stale(s *server) int {
+	s.mu.Lock()
+	n := s.count
+	s.mu.Unlock()
+	s.jobs["x"] = n // want `field jobs is guarded by mu but accessed without holding it`
+	return n
+}
+
+// spawn shows that closures are independent scopes: the goroutine runs
+// after Unlock, so it must take the lock itself.
+func spawn(s *server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.count++ // want `field count is guarded by mu but accessed without holding it`
+	}()
+}
+
+// bump documents its contract instead of locking: callers hold s.mu.
+//
+//dwmlint:holds mu
+func bump(s *server) {
+	s.count++
+}
+
+// newServer must not fire: construction of a fresh value is not
+// shared-state access.
+func newServer() *server {
+	s := &server{jobs: map[string]int{}}
+	s.count = 1
+	return s
+}
+
+// report exercises suppression.
+func report(s *server) int {
+	//dwmlint:ignore guardedfield fixture: approximate metric read, staleness is acceptable
+	return s.count
+}

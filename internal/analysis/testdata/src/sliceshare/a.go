@@ -1,0 +1,73 @@
+package sliceshare
+
+import "slices"
+
+type options struct {
+	warmstart []int
+}
+
+type evaluator struct {
+	cur []int
+}
+
+// newEvaluator models the Warmstart bug: the caller's slice lands in a
+// field that swap later writes through, so the caller's memory mutates
+// behind its back.
+func newEvaluator(p []int) *evaluator {
+	return &evaluator{cur: p} // want `stored into field cur, which is written through elsewhere`
+}
+
+func (e *evaluator) swap(i, j int) {
+	e.cur[i], e.cur[j] = e.cur[j], e.cur[i]
+}
+
+// anneal shows the struct-parameter path: opts.warmstart is written in
+// place and then escapes through the return value.
+func anneal(opts options) []int {
+	cur := opts.warmstart
+	cur[0] = 1 // want `written through before being returned`
+	return cur
+}
+
+var sink []int
+
+// keep writes through the parameter and parks it in a global.
+func keep(p []int) {
+	p[0] = 9 // want `written through and stored beyond the call`
+	sink = p
+}
+
+// ingest is one call away from the bug: absorb retains its argument in
+// mutable state, so handing it the caller's slice is just as bad.
+func ingest(e *evaluator, p []int) {
+	e.absorb(p) // want `stores the caller's slice in mutable state`
+}
+
+func (e *evaluator) absorb(p []int) {
+	e.cur = p // want `stored into field cur, which is written through elsewhere`
+}
+
+// adopt exercises suppression: ownership transfer is the documented
+// contract, so the retention is deliberate.
+func adopt(e *evaluator, p []int) {
+	//dwmlint:ignore sliceshare fixture: the caller hands over ownership of p by contract
+	e.cur = p
+}
+
+// cloneFirst must not fire: the retained slice is a private copy.
+func cloneFirst(e *evaluator, p []int) {
+	e.cur = slices.Clone(p)
+}
+
+// appendFresh must not fire: appending to a fresh slice never aliases p,
+// so writing and returning the result is safe.
+func appendFresh(p []int) []int {
+	out := append([]int(nil), p...)
+	out[0] = 1
+	return out
+}
+
+// readOnly must not fire: returning without writing is plain aliasing.
+func readOnly(p []int) []int {
+	return p
+}

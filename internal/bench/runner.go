@@ -204,6 +204,7 @@ func RunContext(ctx context.Context, cfg Config, exps ...Experiment) ([]RunResul
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
+			//dwmlint:ignore ctxflow cancellation is handled at the submit loop: once ctx fires no index reaches the jobs channel, and in-flight runAt calls see ctx through runOne
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
@@ -266,6 +267,7 @@ func runOne(ctx context.Context, cfg Config, e Experiment) RunResult {
 		err error
 	}
 	done := make(chan outcome, 1)
+	//dwmlint:ignore ctxflow the experiment receives the context through cfg.ctx (set above from ectx); the select below is the backstop for stages that never look at it
 	go func() {
 		defer span.End()
 		defer func() {

@@ -72,24 +72,24 @@ type SessionSnapshot struct {
 // Snapshot never blocks behind a running round (it reads a separately
 // published copy that mid-round checkpoints keep fresh).
 type Session struct {
-	mu    sync.Mutex // serializes Append/ingest state
-	opts  SessionOptions
-	g     *graph.Graph
-	eval  *cost.Evaluator
-	place layout.Placement
+	mu    sync.Mutex       // serializes Append/ingest state
+	opts  SessionOptions   // immutable after NewSession
+	g     *graph.Graph     //dwmlint:guard mu
+	eval  *cost.Evaluator  //dwmlint:guard mu
+	place layout.Placement //dwmlint:guard mu
 
-	last       int // previous access's item, -1 before the first access
-	accesses   int64
-	rounds     int64
-	migrations int64
+	last       int   //dwmlint:guard mu
+	accesses   int64 //dwmlint:guard mu
+	rounds     int64 //dwmlint:guard mu
+	migrations int64 //dwmlint:guard mu
 
 	// pending coalesces not-yet-applied transition deltas: one entry per
 	// distinct item pair since the last flush, in first-touch order.
-	pending []graph.Delta
-	pendIdx map[[2]int]int
+	pending []graph.Delta  //dwmlint:guard mu
+	pendIdx map[[2]int]int //dwmlint:guard mu
 
 	snapMu sync.Mutex
-	snap   SessionSnapshot
+	snap   SessionSnapshot //dwmlint:guard snapMu
 }
 
 // NewSession creates a session over an empty transition graph with the
@@ -167,6 +167,8 @@ func (s *Session) Append(ctx context.Context, accesses []int) error {
 }
 
 // addPending coalesces one observed transition into the pending batch.
+//
+//dwmlint:holds mu
 func (s *Session) addPending(u, v int) {
 	if u > v {
 		u, v = v, u
@@ -182,6 +184,8 @@ func (s *Session) addPending(u, v int) {
 
 // flush applies the pending transition deltas to the graph and moves the
 // evaluator's cost forward under the mutation.
+//
+//dwmlint:holds mu
 func (s *Session) flush() error {
 	if len(s.pending) == 0 {
 		return nil
@@ -201,6 +205,8 @@ func (s *Session) flush() error {
 // adopts its best, counting the item migrations it implies. Mid-round
 // checkpoints publish improving placements so long rounds never make
 // Snapshot stale.
+//
+//dwmlint:holds mu
 func (s *Session) round(ctx context.Context) error {
 	s.rounds++
 	round := s.rounds
@@ -246,6 +252,8 @@ func (s *Session) round(ctx context.Context) error {
 
 // publish copies the authoritative state into the snapshot slot.
 // Callers hold s.mu.
+//
+//dwmlint:holds mu
 func (s *Session) publish() {
 	// Pending tail transitions are not yet in the evaluator; their cost
 	// contribution is added here so the snapshot cost is exact for every

@@ -24,10 +24,10 @@ var (
 // Graph.Freeze; the zero value is unusable.
 type CSR struct {
 	n       int
-	rowPtr  []int
-	colIdx  []int32
-	weights []int64
-	wdeg    []int64 // weighted degree per vertex
+	rowPtr  []int   //dwmlint:frozen Freeze ApplyDeltas
+	colIdx  []int32 //dwmlint:frozen Freeze ApplyDeltas
+	weights []int64 //dwmlint:frozen Freeze ApplyDeltas
+	wdeg    []int64 //dwmlint:frozen Freeze ApplyDeltas
 	totalW  int64
 
 	edgesOnce sync.Once

@@ -54,10 +54,10 @@ type Tracer struct {
 	nextID atomic.Uint64
 
 	mu      sync.Mutex
-	buf     []SpanRecord
-	next    int // next write slot
-	full    bool
-	dropped int64 // spans overwritten before being drained
+	buf     []SpanRecord //dwmlint:guard mu
+	next    int          //dwmlint:guard mu
+	full    bool         //dwmlint:guard mu
+	dropped int64        //dwmlint:guard mu
 }
 
 // NewTracer returns a tracer with a ring of the given capacity

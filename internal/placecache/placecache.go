@@ -90,12 +90,12 @@ const DefaultMaxEntries = 256
 // All methods are safe for concurrent use.
 type Cache struct {
 	mu      sync.Mutex
-	max     int
-	entries map[Key]*list.Element
-	lru     *list.List // front = most recent; values are *node
-	profIdx map[uint64][]Key
-	bytes   int64
-	persist *persister
+	max     int                   // immutable after New
+	entries map[Key]*list.Element //dwmlint:guard mu
+	lru     *list.List            //dwmlint:guard mu
+	profIdx map[uint64][]Key      //dwmlint:guard mu
+	bytes   int64                 //dwmlint:guard mu
+	persist *persister            //dwmlint:guard mu
 }
 
 type node struct {
@@ -175,6 +175,8 @@ func (c *Cache) Put(k Key, e Entry) {
 
 // put is Put without the lock; fromLive distinguishes live stores (which
 // append to the persistence log) from load-time replays.
+//
+//dwmlint:holds mu
 func (c *Cache) put(k Key, e Entry, fromLive bool) {
 	if el, ok := c.entries[k]; ok {
 		c.lru.MoveToFront(el)
@@ -195,6 +197,9 @@ func (c *Cache) put(k Key, e Entry, fromLive bool) {
 	}
 }
 
+// evictOldest drops the least-recently-used entry. Callers hold c.mu.
+//
+//dwmlint:holds mu
 func (c *Cache) evictOldest() {
 	el := c.lru.Back()
 	if el == nil {

@@ -144,16 +144,16 @@ type job struct {
 	cacheHit bool
 
 	mu        sync.Mutex
-	status    string
-	result    *Result
-	errMsg    string
-	elapsedMS int64
-	canceled  bool
-	cancel    context.CancelFunc // set while running
-	ckpt      layout.Placement   // best-so-far, kept at min cost
-	ckptCost  int64
-	ckptAt    time.Time                   // when ckpt last improved (stamped by the caller)
-	prog      map[int]core.AnnealProgress // latest report per restart chain
+	status    string                      //dwmlint:guard mu
+	result    *Result                     //dwmlint:guard mu
+	errMsg    string                      //dwmlint:guard mu
+	elapsedMS int64                       //dwmlint:guard mu
+	canceled  bool                        //dwmlint:guard mu
+	cancel    context.CancelFunc          //dwmlint:guard mu
+	ckpt      layout.Placement            //dwmlint:guard mu
+	ckptCost  int64                       //dwmlint:guard mu
+	ckptAt    time.Time                   //dwmlint:guard mu
+	prog      map[int]core.AnnealProgress //dwmlint:guard mu
 }
 
 // recordCheckpoint keeps the lowest-cost placement seen so far. It is

@@ -144,19 +144,19 @@ type Server struct {
 	cache   *placecache.Cache // nil when Options.DisableCache
 
 	mu        sync.Mutex
-	jobs      map[string]*job
-	queue     chan *job
-	accepting bool
-	isReady   bool
-	nextID    int64
-	wg        sync.WaitGroup // worker pool
+	jobs      map[string]*job //dwmlint:guard mu
+	queue     chan *job       // channel ops self-synchronize; mu only guards replacing it
+	accepting bool            //dwmlint:guard mu
+	isReady   bool            //dwmlint:guard mu
+	nextID    int64           //dwmlint:guard mu
+	wg        sync.WaitGroup  // worker pool
 
 	// Streaming sessions (see stream.go). Appends run inline in the
 	// handler — bounded improvement rounds, no worker pool — so shutdown
 	// only has to stop admitting new appends; in-flight ones finish under
 	// the HTTP server's own drain.
-	streams      map[string]*stream
-	nextStreamID int64
+	streams      map[string]*stream //dwmlint:guard mu
+	nextStreamID int64              //dwmlint:guard mu
 }
 
 // New builds a Server and starts its worker pool. Callers must
@@ -248,6 +248,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	drained := make(chan struct{})
 	//dwmlint:ignore barego shutdown helper: signals worker-pool drain completion so the wait can race the caller's deadline; no result state escapes it
+	//dwmlint:ignore ctxflow wg.Wait cannot be interrupted by design — the caller's ctx bounds the wait via the select below, and accepted jobs must finish (accepted-work-is-never-dropped)
 	go func() {
 		s.wg.Wait()
 		close(drained)
@@ -554,6 +555,7 @@ func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
 	// it completes even if the client goes away — the same accepted-work-
 	// is-never-dropped stance the job queue takes, and a prerequisite for
 	// the determinism contract (a half-applied append is not replayable).
+	//dwmlint:ignore ctxflow deliberate severing: an admitted append must complete even if the client disconnects, or a half-applied append would make the stream unreplayable
 	if err := st.sess.Append(context.Background(), req.Accesses); err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
