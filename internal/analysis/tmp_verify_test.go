@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func TestTmpVerifyMutationFreeGlobalWrite(t *testing.T) {
+	src := `package p
+
+var g []int
+var total int
+
+func stash(p []int) { g = p }
+func bump()         { total++ }
+func writesParam(p []int) { p[0] = 1 }
+
+func caller(p []int) { stash(p) }
+func mutateGlobal() { g[0] = 2 }
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	facts := NewFacts(fset)
+	facts.AddPackage([]*ast.File{f}, info)
+	get := func(name string) *types.Func {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return info.Defs[fd.Name].(*types.Func)
+			}
+		}
+		t.Fatalf("no func %s", name)
+		return nil
+	}
+	t.Logf("MutationFree(stash)=%v (writes global g)", facts.MutationFree(get("stash")))
+	t.Logf("MutationFree(bump)=%v (increments global total)", facts.MutationFree(get("bump")))
+	t.Logf("MutationFree(writesParam)=%v (writes param element)", facts.MutationFree(get("writesParam")))
+	sf := facts.SliceFacts(get("stash"))
+	t.Logf("SliceFacts(stash).Params[0]=%+v", sf.Params[0])
+}
