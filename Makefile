@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-self lint-bench fmt-check test race bench-smoke bench-report merge-smoke determinism-smoke serve-smoke obs-smoke cache-smoke stream-smoke ci
+.PHONY: all build vet lint lint-self lint-bench fmt-check test race bench-smoke bench-report merge-smoke determinism-smoke serve-smoke obs-smoke cache-smoke stream-smoke crash-smoke chaos ci
 
 all: ci
 
@@ -93,6 +93,7 @@ determinism-smoke:
 		echo "determinism-smoke: warm-cache E2 table differs from cold:"; \
 		diff -u "$$d" "$$e"; exit 1; \
 	fi
+	$(GO) test ./internal/faultfs/ -run 'TestScheduleDeterministic' -count=2
 
 # End-to-end service smoke: boot dwmserved on a kernel-chosen port,
 # submit the same job twice, require byte-identical results, and check
@@ -120,4 +121,18 @@ cache-smoke:
 stream-smoke:
 	@GO="$(GO)" sh scripts/stream_smoke.sh
 
-ci: fmt-check vet lint lint-self build race bench-smoke merge-smoke determinism-smoke serve-smoke obs-smoke cache-smoke stream-smoke
+# Durability smoke: SIGKILL a journaled dwmserved mid-anneal, restart on
+# the same journal, and require the recovered result byte-identical to
+# an uninterrupted run; then tear the journal tail and flip a bit and
+# require truncate/quarantine repair (DESIGN.md §15).
+crash-smoke:
+	@GO="$(GO)" sh scripts/crash_smoke.sh
+
+# Widened chaos sweep: the faultfs atomicity property (acknowledged
+# appends survive injected short writes, fsync errors, and crashes;
+# unacknowledged ones never resurrect) over many more deterministic
+# fault schedules than the in-tree test's default 16.
+chaos:
+	CHAOS_SEEDS=128 $(GO) test ./internal/faultfs/ -run TestChaosAtomicity -count=1
+
+ci: fmt-check vet lint lint-self build race bench-smoke merge-smoke determinism-smoke serve-smoke obs-smoke cache-smoke stream-smoke crash-smoke chaos

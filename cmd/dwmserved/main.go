@@ -8,12 +8,21 @@
 //	dwmserved [-addr 127.0.0.1:8080] [-queue 16] [-workers 2]
 //	          [-deadline 0] [-max-deadline 0] [-drain 30s]
 //	          [-addrfile path] [-events 4096]
-//	          [-cache DIR] [-cache-entries 256]
+//	          [-cache DIR] [-cache-entries 256] [-journal DIR]
 //
 // The placement cache (on by default, in memory) serves duplicate and
 // renumber-equivalent anneal requests without re-running the search;
 // -cache DIR persists it to DIR/placecache.jsonl across restarts and
 // -cache-entries 0 disables caching entirely.
+//
+// -journal DIR turns on the write-ahead journal (DESIGN.md §15): every
+// accepted job, checkpoint, terminal result, and stream batch is
+// committed to a checksummed segment log under DIR before the client
+// sees a success, and on startup the daemon replays the journal —
+// finished jobs come back as stored, unfinished ones are re-run from
+// their requests (results are pure functions of requests, so the
+// recovered placements are byte-identical to an uninterrupted run),
+// and streams are rebuilt by re-applying their journaled batches.
 //
 // Besides one-shot jobs (POST /v1/place), the daemon serves streaming
 // sessions (DESIGN.md §13): POST /v1/streams creates a live placement
@@ -45,6 +54,7 @@ import (
 
 	"repro/internal/placecache"
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -70,6 +80,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	events := fs.Int("events", 4096, "span ring capacity for GET /debug/events (0 = tracing off)")
 	cacheDir := fs.String("cache", "", "persist the placement cache under this directory (empty = memory only)")
 	cacheEntries := fs.Int("cache-entries", 256, "placement cache capacity (0 = caching disabled)")
+	journalDir := fs.String("journal", "", "write-ahead journal directory (empty = no durability)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,7 +106,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 
-	srv := serve.New(serve.Options{
+	var jl *wal.Log
+	if *journalDir != "" {
+		var err error
+		jl, err = wal.Open(wal.Options{Dir: *journalDir, MetricsPrefix: "serve.wal"})
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		defer jl.Close()
+	}
+
+	srv, err := serve.New(serve.Options{
 		QueueCap:        *queueCap,
 		Workers:         *workers,
 		DefaultDeadline: *deadline,
@@ -103,7 +124,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		EventBuffer:     *events,
 		Cache:           cache,
 		DisableCache:    *cacheEntries <= 0,
+		Journal:         jl,
 	})
+	if err != nil {
+		return fmt.Errorf("recover journal: %w", err)
+	}
+	if jl != nil {
+		st := jl.Stats()
+		fmt.Fprintf(out, "dwmserved: journal at %s (%d records replayed, %d segments)\n",
+			*journalDir, st.Replayed, st.Segments)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -351,28 +351,48 @@ func TestE17AwareMappingNeverHurts(t *testing.T) {
 func TestE18FaultExposureTracksShifts(t *testing.T) {
 	tb := runExp(t, E18ShiftFaults)
 	// At the highest fault rate, the proposed placement must see far
-	// fewer fault events than program order (exposure ~ shifts).
-	faultsAt := map[string]map[string]int64{}
+	// fewer fault events than program order (exposure ~ shifts) — under
+	// BOTH the uniform and the pinning fault model.
+	faultsAt := map[string]map[string]int64{} // workload/mode -> policy -> faults
 	for _, row := range tb.Rows {
 		if row[1] != "0.01" {
 			continue
 		}
-		if faultsAt[row[0]] == nil {
-			faultsAt[row[0]] = map[string]int64{}
+		k := row[0] + "/" + row[2]
+		if faultsAt[k] == nil {
+			faultsAt[k] = map[string]int64{}
 		}
-		faultsAt[row[0]][row[2]] = cellInt(t, row[4])
+		faultsAt[k][row[3]] = cellInt(t, row[5])
 	}
-	for wl, m := range faultsAt {
+	if len(faultsAt) != 4 {
+		t.Fatalf("expected 4 workload/mode groups at p=0.01, got %d", len(faultsAt))
+	}
+	for k, m := range faultsAt {
 		if m["proposed"] >= m["program"] {
 			t.Errorf("%s: proposed fault count %d not below program %d",
-				wl, m["proposed"], m["program"])
+				k, m["proposed"], m["program"])
 		}
 	}
-	// Zero-probability rows must report zero faults.
+	// Zero-probability rows must report zero faults, and pinning must
+	// actually change the fault trajectory versus uniform somewhere.
+	modesDiffer := false
+	uniformFaults := map[string]int64{}
 	for _, row := range tb.Rows {
-		if row[1] == "0" && cellInt(t, row[4]) != 0 {
-			t.Errorf("%s/%s: faults at p=0", row[0], row[2])
+		if row[1] == "0" && cellInt(t, row[5]) != 0 {
+			t.Errorf("%s/%s: faults at p=0", row[0], row[3])
 		}
+		key := row[0] + "/" + row[1] + "/" + row[3]
+		switch row[2] {
+		case "uniform":
+			uniformFaults[key] = cellInt(t, row[5])
+		case "pinning":
+			if cellInt(t, row[5]) != uniformFaults[key] {
+				modesDiffer = true
+			}
+		}
+	}
+	if !modesDiffer {
+		t.Error("pinning rows identical to uniform everywhere; mode plumbing is vacuous")
 	}
 }
 

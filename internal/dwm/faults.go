@@ -15,18 +15,46 @@ import (
 // latency and energy accounting automatically include the overhead; the
 // fault counter records how many individual shift errors occurred.
 
+// FaultMode selects how the per-shift error probability is distributed
+// along the wire.
+type FaultMode int
+
+const (
+	// FaultUniform applies the same error probability to every shift —
+	// the original model. Its RNG draw sequence is frozen: results for
+	// uniform-mode experiments are stable across the pinning extension.
+	FaultUniform FaultMode = iota
+	// FaultPinning makes the probability position-dependent: domain
+	// walls pin preferentially at fabrication defects (edge roughness,
+	// notches), so each wire position carries a fixed pinning weight in
+	// [0.25, 1.75] drawn deterministically from the seed, scaling the
+	// base probability. The weights average 1, so the mean error rate
+	// matches the uniform model at equal Prob — what changes is the
+	// distribution: accesses whose shift path crosses a strongly pinned
+	// region fault repeatedly, including during correction bursts over
+	// the same region.
+	FaultPinning
+)
+
 // FaultModel configures per-shift position errors.
 type FaultModel struct {
-	// Prob is the per-shift error probability (0 disables faults).
+	// Prob is the per-shift error probability (0 disables faults). In
+	// pinning mode it is the mean over positions.
 	Prob float64
-	// Seed drives the error process.
+	// Seed drives the error process (and, in pinning mode, the defect
+	// map).
 	Seed int64
+	// Mode selects uniform or position-dependent (pinning) errors.
+	Mode FaultMode
 }
 
-// Validate checks the probability range.
+// Validate checks the probability range and mode.
 func (f FaultModel) Validate() error {
 	if f.Prob < 0 || f.Prob >= 1 {
 		return fmt.Errorf("dwm: fault probability %g outside [0,1)", f.Prob)
+	}
+	if f.Mode != FaultUniform && f.Mode != FaultPinning {
+		return fmt.Errorf("dwm: unknown fault mode %d", f.Mode)
 	}
 	return nil
 }
@@ -40,10 +68,16 @@ func (t *Tape) EnableFaults(f FaultModel) error {
 	if f.Prob == 0 {
 		t.faultProb = 0
 		t.faultRng = nil
+		t.pinning = false
 		return nil
 	}
 	t.faultProb = f.Prob
 	t.faultRng = rand.New(rand.NewSource(f.Seed))
+	t.pinning = f.Mode == FaultPinning
+	// The defect map is a fixed property of the (simulated) wire: a
+	// distinct splitmix lane of the same seed, so the map and the error
+	// draws are decorrelated streams of one reproducible process.
+	t.pinSeed = mix64(uint64(f.Seed) ^ 0x8CB92BA72F3D8DD7)
 	return nil
 }
 
@@ -51,8 +85,19 @@ func (t *Tape) EnableFaults(f FaultModel) error {
 // construction or the last ResetCounters.
 func (t *Tape) Faults() int64 { return t.faults }
 
+// faultDisplacement perturbs a burst that moved the offset from 'from'
+// to 'to' and returns the net displacement. It dispatches on the mode;
+// the uniform path draws exactly as it always has (one Float64 per
+// step, Intn(2) per fault), keeping uniform-mode results frozen.
+func (t *Tape) faultDisplacement(from, to int) int {
+	if t.pinning {
+		return t.applyFaultsPinned(from, to)
+	}
+	return t.applyFaults(abs(to - from))
+}
+
 // applyFaults perturbs the offset after a burst of d shifts and returns
-// the displacement. Called only when the fault model is active.
+// the displacement. Called only when the uniform fault model is active.
 func (t *Tape) applyFaults(d int) int {
 	disp := 0
 	for i := 0; i < d; i++ {
@@ -68,6 +113,63 @@ func (t *Tape) applyFaults(d int) int {
 	return disp
 }
 
+// applyFaultsPinned walks the burst step by step: the step that moves
+// the offset onto position pos faults with probability Prob multiplied
+// by pinWeight(pos), the wire's fixed defect map. A correction burst
+// re-crosses the same positions, so a strongly pinned region is sticky
+// — exactly the clustering the uniform model cannot express.
+func (t *Tape) applyFaultsPinned(from, to int) int {
+	if from == to {
+		return 0
+	}
+	step := 1
+	if to < from {
+		step = -1
+	}
+	disp := 0
+	for pos := from + step; ; pos += step {
+		p := t.faultProb * t.pinWeight(pos)
+		if p > 0.999 {
+			// Validate bounds Prob below 1; the weight (≤ 1.75) could push
+			// the product over. Cap it so sense-and-correct still
+			// terminates with probability 1.
+			p = 0.999
+		}
+		if t.faultRng.Float64() < p {
+			t.faults++
+			if t.faultRng.Intn(2) == 0 {
+				disp--
+			} else {
+				disp++
+			}
+		}
+		if pos == to {
+			break
+		}
+	}
+	return disp
+}
+
+// pinWeight returns position pos's pinning factor in [0.25, 1.75],
+// mean 1: a deterministic hash of (defect-map seed, position). Offsets
+// can be negative; the int64 widening keeps the hash well-defined.
+func (t *Tape) pinWeight(pos int) float64 {
+	z := mix64(t.pinSeed + uint64(int64(pos))*0xD1B54A32D192ED03)
+	frac := float64(z>>11) / (1 << 53)
+	return 0.25 + 1.5*frac
+}
+
+// mix64 is the splitmix64 finalizer — the tree-wide scheme for
+// decorrelated deterministic streams.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
 // deriveTapeSeed maps (seed, tape index) to an independent per-tape RNG
 // seed with a splitmix64 finalizer — the same derivation scheme the
 // bench harness (bench.DeriveSeed) and the annealer's restart chains
@@ -75,13 +177,7 @@ func (t *Tape) applyFaults(d int) int {
 // statistically independent streams, stable across runs, and
 // independent of the order tapes are accessed in.
 func deriveTapeSeed(seed int64, i int) int64 {
-	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15
-	z ^= z >> 30
-	z *= 0xBF58476D1CE4E5B9
-	z ^= z >> 27
-	z *= 0x94D049BB133111EB
-	z ^= z >> 31
-	return int64(z)
+	return int64(mix64(uint64(seed) + uint64(i)*0x9E3779B97F4A7C15))
 }
 
 // EnableFaults activates the fault model on every tape of the device,

@@ -202,33 +202,154 @@ func TestDeviceFaultsTapeOrderIndependent(t *testing.T) {
 	}
 }
 
+func TestFaultModeValidate(t *testing.T) {
+	if err := (FaultModel{Prob: 0.1, Mode: FaultPinning}).Validate(); err != nil {
+		t.Errorf("pinning mode rejected: %v", err)
+	}
+	if err := (FaultModel{Prob: 0.1, Mode: FaultMode(99)}).Validate(); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+// The Mode field's zero value is FaultUniform, and the uniform draw
+// sequence must be frozen: enabling with an explicit FaultUniform is
+// identical to the pre-Mode API, and must differ from pinning (same
+// seed) — otherwise the mode switch is vacuous.
+func TestUniformModeFrozenAndPinningDiffers(t *testing.T) {
+	run := func(mode FaultMode) (int64, int64) {
+		tape := mustTape(t, 32, []int{0})
+		if err := tape.EnableFaults(FaultModel{Prob: 0.1, Seed: 11, Mode: mode}); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 300; i++ {
+			if _, _, err := tape.Read(rng.Intn(32)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tape.Shifts(), tape.Faults()
+	}
+	us, uf := run(FaultUniform)
+	zs, zf := run(FaultMode(0))
+	if us != zs || uf != zf {
+		t.Errorf("zero-value mode diverged from FaultUniform: %d/%d vs %d/%d", zs, zf, us, uf)
+	}
+	ps, pf := run(FaultPinning)
+	if ps == us && pf == uf {
+		t.Error("pinning mode indistinguishable from uniform at the same seed")
+	}
+}
+
+func TestPinningDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) (int64, int64) {
+		tape := mustTape(t, 48, []int{0, 24})
+		if err := tape.EnableFaults(FaultModel{Prob: 0.05, Seed: seed, Mode: FaultPinning}); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 250; i++ {
+			if _, _, err := tape.Read(rng.Intn(48)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tape.Shifts(), tape.Faults()
+	}
+	s1, f1 := run(7)
+	s2, f2 := run(7)
+	if s1 != s2 || f1 != f2 {
+		t.Errorf("same seed diverged: %d/%d vs %d/%d", s1, f1, s2, f2)
+	}
+	s3, f3 := run(8)
+	if s1 == s3 && f1 == f3 {
+		t.Error("different seeds produced identical pinning runs")
+	}
+}
+
+// The defect map is bounded and mean-preserving: every weight lies in
+// [0.25, 1.75] and the average over a long stretch of wire is ~1, so
+// pinning redistributes error probability without raising its mean.
+func TestPinWeightBoundedMeanOne(t *testing.T) {
+	tape := mustTape(t, 8, []int{0})
+	if err := tape.EnableFaults(FaultModel{Prob: 0.1, Seed: 3, Mode: FaultPinning}); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for pos := -4096; pos < 4096; pos++ {
+		w := tape.pinWeight(pos)
+		if w < 0.25 || w > 1.75 {
+			t.Fatalf("pinWeight(%d) = %g outside [0.25, 1.75]", pos, w)
+		}
+		if w2 := tape.pinWeight(pos); w2 != w {
+			t.Fatalf("pinWeight(%d) not stable: %g vs %g", pos, w, w2)
+		}
+		sum += w
+	}
+	mean := sum / 8192
+	if mean < 0.95 || mean > 1.05 {
+		t.Errorf("defect-map mean %g, want ~1", mean)
+	}
+}
+
+// Pinned faults still never corrupt data: every access completes with
+// the slot aligned and read-back intact, same contract as uniform.
+func TestPinningPreservesCorrectness(t *testing.T) {
+	tape := mustTape(t, 64, []int{32})
+	if err := tape.EnableFaults(FaultModel{Prob: 0.05, Seed: 13, Mode: FaultPinning}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	vals := map[int]uint64{}
+	for i := 0; i < 300; i++ {
+		s := rng.Intn(64)
+		v := rng.Uint64()
+		vals[s] = v
+		if _, err := tape.Write(s, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s, v := range vals {
+		got, _, err := tape.Read(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("slot %d: read %d, want %d", s, got, v)
+		}
+	}
+	if tape.Faults() == 0 {
+		t.Error("no pinned faults injected at p=0.05 over thousands of shifts")
+	}
+}
+
 // Property: after any access on a faulty tape, the requested slot is
 // genuinely aligned (offset equals slot - chosen port) — corrections
 // always complete.
 func TestFaultyAlignmentAlwaysConverges(t *testing.T) {
 	f := func(seed int64) bool {
-		tape, err := NewTape(32, []int{5, 20})
-		if err != nil {
-			return false
-		}
-		if err := tape.EnableFaults(FaultModel{Prob: 0.3, Seed: seed}); err != nil {
-			return false
-		}
-		rng := rand.New(rand.NewSource(seed))
-		for i := 0; i < 100; i++ {
-			s := rng.Intn(32)
-			if _, _, err := tape.Read(s); err != nil {
+		for _, mode := range []FaultMode{FaultUniform, FaultPinning} {
+			tape, err := NewTape(32, []int{5, 20})
+			if err != nil {
 				return false
 			}
-			// Some port must be exactly aligned with s.
-			aligned := false
-			for _, q := range tape.Ports() {
-				if s-q == tape.Offset() {
-					aligned = true
+			if err := tape.EnableFaults(FaultModel{Prob: 0.3, Seed: seed, Mode: mode}); err != nil {
+				return false
+			}
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 100; i++ {
+				s := rng.Intn(32)
+				if _, _, err := tape.Read(s); err != nil {
+					return false
 				}
-			}
-			if !aligned {
-				return false
+				// Some port must be exactly aligned with s.
+				aligned := false
+				for _, q := range tape.Ports() {
+					if s-q == tape.Offset() {
+						aligned = true
+					}
+				}
+				if !aligned {
+					return false
+				}
 			}
 		}
 		return true

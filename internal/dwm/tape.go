@@ -32,6 +32,10 @@ type Tape struct {
 	faultProb float64
 	faultRng  *rand.Rand
 	faults    int64
+	// Pinning mode: position-dependent error probability drawn from the
+	// wire's fixed defect map (seeded by pinSeed).
+	pinning bool
+	pinSeed uint64
 }
 
 // NewTape builds a tape with the given number of word slots and the given
@@ -129,14 +133,17 @@ func (t *Tape) align(slot int) (int, error) {
 	target := slot - t.ports[port]
 	total := d
 	t.shifts += int64(d)
+	prev := t.offset
 	t.offset = target
 	if t.faultRng != nil {
 		// The burst may land off target; sense and correct, with the
 		// corrective shifts themselves subject to faults. The loop
-		// terminates with probability 1 (Prob < 1); the iteration cap
-		// turns a pathological RNG stream into an error instead of a
-		// hang.
-		t.offset = target + t.applyFaults(d)
+		// terminates with probability 1 (effective prob < 1); the
+		// iteration cap turns a pathological RNG stream into an error
+		// instead of a hang. The burst's start offset is threaded
+		// through so the pinning model knows which wire positions the
+		// walls crossed; the uniform model only uses the distance.
+		t.offset = target + t.faultDisplacement(prev, target)
 		for iter := 0; t.offset != target; iter++ {
 			if iter > 10000 {
 				return 0, fmt.Errorf("dwm: position correction did not converge")
@@ -144,7 +151,8 @@ func (t *Tape) align(slot int) (int, error) {
 			c := abs(target - t.offset)
 			t.shifts += int64(c)
 			total += c
-			t.offset = target + t.applyFaults(c)
+			prev = t.offset
+			t.offset = target + t.faultDisplacement(prev, target)
 		}
 	}
 	return total, nil

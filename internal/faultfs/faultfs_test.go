@@ -1,0 +1,205 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// driveSequence issues a fixed operation sequence against a throwaway
+// wal.Log layered on a fault FS and returns the injected-fault log.
+func driveSequence(t *testing.T, dir string, opts Options) string {
+	t.Helper()
+	ffs := New(wal.OS(), opts)
+	l, err := wal.Open(wal.Options{Dir: dir, FS: ffs, SegmentBytes: 256})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		// Errors are expected — the schedule injects them. The log
+		// either rolls back or breaks; both are fine here, the test
+		// only cares that the schedule is reproducible.
+		if err := l.Append([]byte(fmt.Sprintf("payload-%04d", i))); err != nil && errors.Is(err, wal.ErrBroken) {
+			break
+		}
+	}
+	l.Close()
+	return ffs.LogString()
+}
+
+// TestScheduleDeterministic is the acceptance-criteria check: the fault
+// schedule is a pure function of its seed. The same seed driving the
+// same operation sequence must produce byte-identical fault logs.
+func TestScheduleDeterministic(t *testing.T) {
+	opts := Options{Seed: 42, ShortWritePerMille: 60, WriteErrPerMille: 40, SyncErrPerMille: 30}
+	a := driveSequence(t, t.TempDir(), opts)
+	b := driveSequence(t, t.TempDir(), opts)
+	if a != b {
+		t.Fatalf("same seed produced different fault logs:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("schedule injected no faults at these rates; test is vacuous")
+	}
+	opts.Seed = 43
+	c := driveSequence(t, t.TempDir(), opts)
+	if a == c {
+		t.Fatalf("different seeds produced identical fault logs")
+	}
+}
+
+func TestInjectedErrorClasses(t *testing.T) {
+	// Force each class deterministically with a 100% rate.
+	t.Run("enospc", func(t *testing.T) {
+		ffs := New(nil, Options{Seed: 1, WriteErrPerMille: 1000})
+		f, err := ffs.OpenFile(t.TempDir()+"/f", os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjectedWrite) {
+			t.Fatalf("want ErrInjectedWrite, got %v", err)
+		}
+	})
+	t.Run("short", func(t *testing.T) {
+		ffs := New(nil, Options{Seed: 1, ShortWritePerMille: 1000})
+		f, err := ffs.OpenFile(t.TempDir()+"/f", os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		n, err := f.Write([]byte("0123456789abcdef"))
+		if !errors.Is(err, ErrInjectedShortWrite) {
+			t.Fatalf("want ErrInjectedShortWrite, got %v", err)
+		}
+		if n >= 16 {
+			t.Fatalf("short write committed the whole buffer (n=%d)", n)
+		}
+	})
+	t.Run("eio", func(t *testing.T) {
+		ffs := New(nil, Options{Seed: 1, SyncErrPerMille: 1000})
+		f, err := ffs.OpenFile(t.TempDir()+"/f", os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := f.Sync(); !errors.Is(err, ErrInjectedSync) {
+			t.Fatalf("want ErrInjectedSync, got %v", err)
+		}
+	})
+}
+
+func TestPanicAtOp(t *testing.T) {
+	ffs := New(nil, Options{Seed: 1, PanicAtOp: 3})
+	f, err := ffs.OpenFile(t.TempDir()+"/f", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.Write([]byte("1")) // op 1
+	f.Write([]byte("2")) // op 2
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("op 3 did not panic")
+		}
+		if err, ok := r.(error); !ok || !errors.Is(err, ErrCrash) {
+			t.Fatalf("panic value = %v, want ErrCrash", r)
+		}
+		log := ffs.Log()
+		if len(log) == 0 || log[len(log)-1].Fault != "panic" {
+			t.Fatalf("crash not recorded in fault log: %v", log)
+		}
+	}()
+	f.Write([]byte("3")) // op 3: boom
+}
+
+// appendUnderFaults drives a wal.Log over a fault FS for one seed and
+// returns (attempted, acked) payload sequences. A panic from PanicAtOp
+// is recovered and treated as the crash point.
+func appendUnderFaults(t *testing.T, dir string, opts Options, n int) (attempted, acked []string) {
+	t.Helper()
+	ffs := New(wal.OS(), opts)
+	l, err := wal.Open(wal.Options{Dir: dir, FS: ffs, SegmentBytes: 512})
+	if err != nil {
+		t.Fatalf("open under faults: %v", err)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); !ok || !errors.Is(err, ErrCrash) {
+				panic(r)
+			}
+		}
+		l.Close()
+	}()
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("seed%d-rec-%04d", opts.Seed, i)
+		attempted = append(attempted, p)
+		if err := l.Append([]byte(p)); err == nil {
+			acked = append(acked, p)
+		} else if errors.Is(err, wal.ErrBroken) {
+			return attempted, acked
+		}
+	}
+	return attempted, acked
+}
+
+// isSubsequence reports whether xs appears within ys in order.
+func isSubsequence(xs, ys []string) bool {
+	j := 0
+	for _, y := range ys {
+		if j < len(xs) && xs[j] == y {
+			j++
+		}
+	}
+	return j == len(xs)
+}
+
+// TestChaosAtomicity is the seeded chaos sweep: under short writes,
+// write errors, fsync errors, and injected crashes, a SyncAlways log
+// must preserve record atomicity — after recovery, every acknowledged
+// append is present in order, and nothing that was never attempted
+// appears. CHAOS_SEEDS widens the sweep (make chaos).
+func TestChaosAtomicity(t *testing.T) {
+	seeds := 16
+	if s := os.Getenv("CHAOS_SEEDS"); s != "" {
+		fmt.Sscanf(s, "%d", &seeds)
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			opts := Options{
+				Seed:               int64(seed),
+				ShortWritePerMille: 25,
+				WriteErrPerMille:   15,
+				SyncErrPerMille:    10,
+				PanicAtOp:          50 + seed*17,
+			}
+			attempted, acked := appendUnderFaults(t, dir, opts, 400)
+
+			// Recovery: reopen on the clean filesystem, as after a real
+			// crash, and replay.
+			l, err := wal.Open(wal.Options{Dir: dir})
+			if err != nil {
+				t.Fatalf("recovery open: %v", err)
+			}
+			defer l.Close()
+			var replayed []string
+			if err := l.Replay(func(p []byte) error {
+				replayed = append(replayed, string(p))
+				return nil
+			}); err != nil {
+				t.Fatalf("recovery replay: %v", err)
+			}
+			if !isSubsequence(acked, replayed) {
+				t.Errorf("acked records lost: %d acked, %d replayed", len(acked), len(replayed))
+			}
+			if !isSubsequence(replayed, attempted) {
+				t.Errorf("replay invented records not in the attempt sequence")
+			}
+		})
+	}
+}

@@ -2,9 +2,11 @@ package placecache
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 	"strconv"
 
@@ -15,6 +17,7 @@ import (
 var (
 	obsPersistLoaded  = obs.GetCounter("placecache.persist.loaded")
 	obsPersistSkipped = obs.GetCounter("placecache.persist.skipped")
+	obsPersistTorn    = obs.GetCounter("placecache.persist.torn_truncations")
 )
 
 // record is the on-disk form of one (Key, Entry) pair.
@@ -78,13 +81,32 @@ func newPersister(path string) (*persister, error) {
 
 // load replays every valid record into the cache (oldest first, so LRU
 // recency mirrors append order), skipping malformed lines, checksum
-// mismatches, and invalid placements. It then positions the file at the
-// end for appends.
+// mismatches, and invalid placements. A torn tail — bytes after the
+// last newline, the artifact of a crash mid-append — is truncated away
+// before appends resume: seeking to the physical end instead would
+// concatenate the next record onto the torn fragment and corrupt both
+// (the fragment is unreadable already; the checksum envelope cannot
+// protect a record written onto a dirty tail).
 func (p *persister) load(c *Cache) error {
-	sc := bufio.NewScanner(p.f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	for sc.Scan() {
-		line := sc.Bytes()
+	br := bufio.NewReaderSize(p.f, 1<<16)
+	var end int64 // offset just past the last newline-terminated line
+	for {
+		raw, err := br.ReadBytes('\n')
+		if err != nil {
+			if err != io.EOF {
+				return fmt.Errorf("load %s: %w", p.f.Name(), err)
+			}
+			if len(raw) > 0 {
+				// Torn tail: cut it so the next append starts a clean line.
+				obsPersistTorn.Inc()
+				if terr := p.f.Truncate(end); terr != nil {
+					return fmt.Errorf("truncate torn tail of %s: %w", p.f.Name(), terr)
+				}
+			}
+			break
+		}
+		end += int64(len(raw))
+		line := bytes.TrimRight(raw, "\r\n")
 		if len(line) == 0 {
 			continue
 		}
@@ -119,10 +141,7 @@ func (p *persister) load(c *Cache) error {
 		c.put(k, Entry{Placement: rec.Placement, Cost: rec.Cost, Profile: rec.Profile}, false)
 		obsPersistLoaded.Inc()
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("load %s: %w", p.f.Name(), err)
-	}
-	if _, err := p.f.Seek(0, 2); err != nil {
+	if _, err := p.f.Seek(end, 0); err != nil {
 		return fmt.Errorf("seek %s: %w", p.f.Name(), err)
 	}
 	return nil

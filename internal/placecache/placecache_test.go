@@ -186,6 +186,64 @@ func TestPersistenceSkipsCorruptLines(t *testing.T) {
 	}
 }
 
+// TestPersistenceTornTailTruncateAndContinue is the crash-recovery
+// regression: a record torn mid-line (no trailing newline — what a
+// crash mid-append leaves) must be truncated away, and the NEXT record
+// appended must survive the following reload. Before truncation was
+// added, the new line was glued onto the torn fragment at the physical
+// end of the file, corrupting both.
+func TestPersistenceTornTailTruncateAndContinue(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	c, err := New(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(testKey(1), testEntry(4, 7))
+	c.Put(testKey(2), testEntry(5, 8))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: cut the file in the middle of record 2's line.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstLineEnd := strings.IndexByte(string(raw), '\n') + 1
+	cut := firstLineEnd + (len(raw)-firstLineEnd)/2
+	if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := New(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 1 {
+		t.Fatalf("reloaded %d entries after torn tail, want 1", re.Len())
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != int64(firstLineEnd) {
+		t.Fatalf("torn tail not truncated: size %d, want %d", fi.Size(), firstLineEnd)
+	}
+	// The regression proper: continue appending after recovery, then
+	// reload once more — both the surviving and the new record must load.
+	re.Put(testKey(3), testEntry(6, 9))
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := New(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.Len() != 2 {
+		t.Fatalf("reloaded %d entries after post-recovery append, want 2", re2.Len())
+	}
+	if _, ok := re2.Get(testKey(3)); !ok {
+		t.Fatal("the record appended after torn-tail recovery was lost")
+	}
+}
+
 func buildGraph(t *testing.T, seed int64, items, length int) *graph.Graph {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))

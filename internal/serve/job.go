@@ -64,6 +64,14 @@ type PlaceRequest struct {
 	// Resume names an earlier job whose checkpoint seeds this job's
 	// search, so a cancelled or deadline-cut job can be continued.
 	Resume string `json:"resume,omitempty"`
+	// ClientKey, when set, makes the submission idempotent: a second
+	// request carrying the same key returns the first request's job
+	// instead of minting a duplicate. The key survives journal replay,
+	// so resubmission after a server crash is safe too. RequestKey
+	// derives the canonical key from the request's identity fields; any
+	// opaque client-chosen token also works. ClientKey is not part of
+	// the request's identity — it never influences the placement.
+	ClientKey string `json:"client_key,omitempty"`
 }
 
 // TraceInfo summarizes the uploaded trace in job responses.
@@ -156,17 +164,21 @@ type job struct {
 	prog      map[int]core.AnnealProgress //dwmlint:guard mu
 }
 
-// recordCheckpoint keeps the lowest-cost placement seen so far. It is
-// the Checkpoint callback handed to the annealer, which may invoke it
+// recordCheckpoint keeps the lowest-cost placement seen so far and
+// reports whether this call improved it (the journal hook in runJob
+// writes a job.ckpt record exactly for improvements). It is the
+// Checkpoint callback handed to the annealer, which may invoke it
 // concurrently from restart chains. The caller supplies now — this file
 // stays clock-free so job state remains a pure function of its inputs.
-func (j *job) recordCheckpoint(p layout.Placement, c int64, now time.Time) {
+func (j *job) recordCheckpoint(p layout.Placement, c int64, now time.Time) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.ckpt == nil || c < j.ckptCost {
 		j.ckpt, j.ckptCost = p, c
 		j.ckptAt = now
+		return true
 	}
+	return false
 }
 
 // recordProgress stores the latest cumulative report from one annealing

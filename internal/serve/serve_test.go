@@ -32,7 +32,10 @@ func testTrace(t *testing.T) string {
 // URL. Cleanup drains the pool and closes the listener.
 func startServer(t *testing.T, opts Options) (*Server, string) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -220,8 +223,12 @@ func TestBackpressureNeverDropsAccepted(t *testing.T) {
 			accepted = append(accepted, js.ID)
 		case http.StatusTooManyRequests:
 			rejected++
-			if ra := resp.Header.Get("Retry-After"); ra != "2" {
-				t.Errorf("Retry-After = %q, want \"2\"", ra)
+			// Retry-After is the configured base plus deterministic jitter
+			// in [0, base] derived from the request's identity hash — fixed
+			// request, fixed value (see TestRetryAfterJitterDeterministic).
+			want := fmt.Sprintf("%d", 2+int(requestDigest(slow)%3))
+			if ra := resp.Header.Get("Retry-After"); ra != want {
+				t.Errorf("Retry-After = %q, want %q", ra, want)
 			}
 		default:
 			t.Fatalf("submission %d: unexpected status %d: %s", i, resp.StatusCode, body)
@@ -320,7 +327,10 @@ func TestResumeFromCheckpoint(t *testing.T) {
 // reports the blown budget but the job is cut short into a valid
 // partial rather than abandoned.
 func TestShutdownBudgetCutsRunningJobToPartial(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

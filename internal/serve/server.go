@@ -25,6 +25,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/obs"
 	"repro/internal/placecache"
+	"repro/internal/wal"
 )
 
 // Service instrumentation (see internal/obs), exposed over GET /metrics
@@ -95,6 +96,14 @@ type Options struct {
 	// DisableCache turns content-addressed serving off entirely: every
 	// request runs on the worker pool, as before the cache existed.
 	DisableCache bool
+	// Journal, when non-nil, makes accepted work durable: job
+	// acceptances, checkpoints, terminal results, and stream batches are
+	// committed to this write-ahead log before the client sees a
+	// success, and New replays the log to rebuild state after a crash
+	// (DESIGN.md §15). The caller owns the log's lifecycle (cmd/dwmserved
+	// opens it from -journal and closes it after shutdown). Nil keeps
+	// the service purely in-memory, exactly as before.
+	Journal *wal.Log
 }
 
 func (o Options) queueCap() int {
@@ -142,14 +151,16 @@ type Server struct {
 	mux     *http.ServeMux
 	httpSrv *http.Server
 	cache   *placecache.Cache // nil when Options.DisableCache
+	jl      *journal          // nil-safe wrapper around Options.Journal
 
 	mu        sync.Mutex
-	jobs      map[string]*job //dwmlint:guard mu
-	queue     chan *job       // channel ops self-synchronize; mu only guards replacing it
-	accepting bool            //dwmlint:guard mu
-	isReady   bool            //dwmlint:guard mu
-	nextID    int64           //dwmlint:guard mu
-	wg        sync.WaitGroup  // worker pool
+	jobs      map[string]*job   //dwmlint:guard mu
+	byKey     map[string]string //dwmlint:guard mu — ClientKey → job ID, first wins
+	queue     chan *job         // channel ops self-synchronize; mu only guards replacing it
+	accepting bool              //dwmlint:guard mu
+	isReady   bool              //dwmlint:guard mu
+	nextID    int64             //dwmlint:guard mu
+	wg        sync.WaitGroup    // worker pool
 
 	// Streaming sessions (see stream.go). Appends run inline in the
 	// handler — bounded improvement rounds, no worker pool — so shutdown
@@ -159,24 +170,49 @@ type Server struct {
 	nextStreamID int64              //dwmlint:guard mu
 }
 
-// New builds a Server and starts its worker pool. Callers must
-// eventually call Shutdown to drain the pool, even when Serve is never
-// invoked (tests driving the handlers directly).
-func New(opts Options) *Server {
+// New builds a Server, replays its journal (when Options.Journal is
+// set), and starts the worker pool. Callers must eventually call
+// Shutdown to drain the pool, even when Serve is never invoked (tests
+// driving the handlers directly). The only error source is journal
+// replay; a journal-less New cannot fail.
+func New(opts Options) (*Server, error) {
 	s := &Server{
 		opts:      opts,
 		mux:       http.NewServeMux(),
 		jobs:      make(map[string]*job),
-		queue:     make(chan *job, opts.queueCap()),
+		byKey:     make(map[string]string),
 		accepting: true,
 		isReady:   true,
 		streams:   make(map[string]*stream),
+		jl:        &journal{log: opts.Journal},
 	}
 	if !opts.DisableCache {
 		s.cache = opts.Cache
 		if s.cache == nil {
 			s.cache = placecache.NewMemory(0)
 		}
+	}
+	// Recover journaled state before the queue channel exists: the
+	// channel is sized to hold every unfinished recovered job on top of
+	// the configured capacity, so requeueing can never block or deadlock
+	// against a pool that is not running yet.
+	var requeue []*job
+	if opts.Journal != nil {
+		var err error
+		requeue, err = s.recover()
+		if err != nil {
+			return nil, err
+		}
+	}
+	qcap := opts.queueCap()
+	if len(requeue) > qcap {
+		qcap = len(requeue)
+	}
+	s.queue = make(chan *job, qcap)
+	for _, j := range requeue {
+		s.queue <- j
+		obsQueueDepth.Add(1)
+		obsRequeuedJobs.Inc()
 	}
 	s.mux.HandleFunc("POST /v1/place", s.handlePlace)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -214,7 +250,93 @@ func New(opts Options) *Server {
 		//dwmlint:ignore barego worker pool goroutines mirror parMap: interchangeable consumers of one channel, results are pure functions of the job request, and Shutdown closes the channel and waits on the WaitGroup
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// recover rebuilds jobs and streams from the journal and returns the
+// unfinished jobs to requeue, oldest first. It runs before the worker
+// pool or HTTP surface exists; it still takes s.mu around the registry
+// mutations to keep the lock discipline uniform (uncontended here).
+//
+// Terminal jobs come back exactly as journaled: their results were
+// derived once and the stored bytes are served as-is. Unfinished jobs
+// are re-run from the request — cold, with no cache plan — because a
+// job's result is a pure function of its request; re-deriving is what
+// makes the recovered placement byte-identical to an uninterrupted
+// run. Journaled checkpoints only pre-seed the recovered job's
+// best-so-far, so cancelling right after recovery still returns the
+// pre-crash best.
+func (s *Server) recover() ([]*job, error) {
+	st, err := replayJournal(s.opts.Journal)
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var requeue []*job
+	for _, id := range st.jobOrder {
+		rec := st.jobs[id]
+		tr, terr := parseTrace(rec.req)
+		j := &job{id: id, req: rec.req, tr: tr}
+		switch {
+		case terr != nil:
+			// The trace was valid when accepted (acceptance journals after
+			// validation), so this means the limits tightened across the
+			// restart. Surface it as a failed job rather than wedging replay.
+			j.status = statusFailed
+			j.errMsg = "journal replay: " + terr.Error()
+		case rec.terminal() && rec.errMsg != "":
+			j.status = statusFailed
+			j.errMsg = rec.errMsg
+		case rec.terminal():
+			j.status = statusDone
+			j.result = rec.result
+			j.cacheHit = rec.cacheHit
+		default:
+			j.status = statusQueued
+			j.enqueued = now
+			if rec.ckpt != nil {
+				j.ckpt = layout.Placement(rec.ckpt)
+				j.ckptCost = rec.ckptCost
+			}
+			requeue = append(requeue, j)
+		}
+		s.jobs[id] = j
+		if k := rec.req.ClientKey; k != "" {
+			if _, dup := s.byKey[k]; !dup {
+				s.byKey[k] = id
+			}
+		}
+		obsReplayedJobs.Inc()
+	}
+	for _, id := range st.streamOrder {
+		rec := st.streams[id]
+		if rec.deleted {
+			// Tombstoned: the stream (and every journaled batch, including
+			// any that raced the delete) stays gone.
+			continue
+		}
+		sst, serr := newStream(id, rec.req)
+		if serr != nil {
+			obsRecordSkips.Inc()
+			continue
+		}
+		for _, acc := range rec.appends {
+			// Re-apply in journal order. A batch the session rejected live
+			// was answered 400 and never entered the session; the session
+			// re-rejects it identically here (validation is deterministic),
+			// so skipping on error reproduces the live state.
+			//dwmlint:ignore ctxflow replay runs before the HTTP surface exists; there is no request context to inherit
+			_ = sst.sess.Append(context.Background(), acc)
+		}
+		s.streams[id] = sst
+		obsStreamsLive.Add(1)
+		obsReplayedStreams.Inc()
+	}
+	s.nextID = st.maxJobSeq
+	s.nextStreamID = st.maxStreamSeq
+	return requeue, nil
 }
 
 // Handler returns the service's HTTP handler, for tests and embedding.
@@ -347,6 +469,24 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("unknown policy %q", req.Policy)})
 		return
 	}
+	// Idempotent resubmission: a ClientKey that already owns a job —
+	// whether from this process's lifetime or rebuilt from the journal —
+	// returns that job instead of minting a duplicate. First wins; the
+	// winning job's result is what every resubmission sees.
+	if req.ClientKey != "" {
+		s.mu.Lock()
+		id, dup := s.byKey[req.ClientKey]
+		var prev *job
+		if dup {
+			prev = s.jobs[id]
+		}
+		s.mu.Unlock()
+		if prev != nil {
+			obsDeduped.Inc()
+			writeJSON(w, http.StatusOK, prev.snapshot(time.Now()))
+			return
+		}
+	}
 	var resume []int
 	if req.Resume != "" {
 		prev, ok := s.lookup(req.Resume)
@@ -379,7 +519,8 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	if plan != nil && plan.hit != nil {
 		// Exact hit: mint a finished job without touching the worker
 		// pool. The job is registered so GET /v1/jobs/{id} works as for
-		// any other submission.
+		// any other submission, and journaled (accept + done in one
+		// breath) so it survives a restart like any other finished job.
 		s.mu.Lock()
 		if !s.accepting {
 			s.mu.Unlock()
@@ -395,7 +536,22 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 			result:   plan.hit,
 			cacheHit: true,
 		}
+		if err := s.jl.append(journalRecord{T: recJobAccept, ID: j.id, Req: &req}); err != nil {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "journal unavailable: " + err.Error()})
+			return
+		}
+		if err := s.jl.append(journalRecord{T: recJobDone, ID: j.id, Result: plan.hit, CacheHit: true}); err != nil {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "journal unavailable: " + err.Error()})
+			return
+		}
 		s.jobs[j.id] = j
+		if req.ClientKey != "" {
+			if _, dup := s.byKey[req.ClientKey]; !dup {
+				s.byKey[req.ClientKey] = j.id
+			}
+		}
 		s.mu.Unlock()
 		obsAccepted.Inc()
 		obsDone.Inc()
@@ -417,6 +573,26 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
 		return
 	}
+	// Admission is a length check, not a channel select: sends happen
+	// only under s.mu and receives only shrink the queue, so the check
+	// cannot race another producer, and the send below can never block.
+	// (The channel's capacity may exceed QueueCap after a replay that
+	// recovered more jobs than the cap; admission still gates on the
+	// configured cap.)
+	if len(s.queue) >= s.opts.queueCap() {
+		s.mu.Unlock()
+		obsRejected.Inc()
+		// Retry-After carries deterministic jitter derived from the
+		// request's identity hash: a thundering herd of distinct retriers
+		// spreads out, while any given request always hears the same
+		// hint (pinned by TestRetryAfterJitterDeterministic).
+		base := s.opts.retryAfterSeconds()
+		retry := base + int(requestDigest(req)%uint64(base+1))
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+		writeJSON(w, http.StatusTooManyRequests, apiError{
+			Error: fmt.Sprintf("queue full (%d jobs); retry later", s.opts.queueCap())})
+		return
+	}
 	s.nextID++
 	j := &job{
 		id:       fmt.Sprintf("job-%06d", s.nextID),
@@ -427,20 +603,25 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		status:   statusQueued,
 		enqueued: time.Now(),
 	}
-	select {
-	case s.queue <- j:
-		s.jobs[j.id] = j
+	// Write-ahead acceptance: the job is durable before the 202 leaves
+	// the server. Journaling under s.mu keeps journal order consistent
+	// with ID order, so replay rebuilds the same sequence. If the
+	// journal is unavailable the job is not accepted — durability was
+	// the promise the 202 would have made. (The minted ID is skipped,
+	// like the pre-journal queue-full path.)
+	if err := s.jl.append(journalRecord{T: recJobAccept, ID: j.id, Req: &req}); err != nil {
 		s.mu.Unlock()
-	default:
-		// Queue full: shed load now rather than queueing unboundedly.
-		// The ID just minted is simply skipped.
-		s.mu.Unlock()
-		obsRejected.Inc()
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.opts.retryAfterSeconds()))
-		writeJSON(w, http.StatusTooManyRequests, apiError{
-			Error: fmt.Sprintf("queue full (%d jobs); retry later", s.opts.queueCap())})
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "journal unavailable: " + err.Error()})
 		return
 	}
+	s.queue <- j
+	s.jobs[j.id] = j
+	if req.ClientKey != "" {
+		if _, dup := s.byKey[req.ClientKey]; !dup {
+			s.byKey[req.ClientKey] = j.id
+		}
+	}
+	s.mu.Unlock()
 	obsAccepted.Inc()
 	obsQueueDepth.Add(1)
 	writeJSON(w, http.StatusAccepted, JobStatus{
@@ -507,6 +688,13 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
+	// Journal the creation before the stream becomes visible: a 201 is a
+	// durability promise, same as a job's 202.
+	if err := s.jl.append(journalRecord{T: recStreamCreate, ID: id, Stream: &req}); err != nil {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "journal unavailable: " + err.Error()})
+		return
+	}
 	s.streams[id] = st
 	s.mu.Unlock()
 	obsStreamsCreated.Inc()
@@ -550,13 +738,27 @@ func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
 	_, span := obs.StartSpan(r.Context(), "serve.stream.append")
 	defer span.End()
 	span.SetAttr("stream", st.id).SetAttr("accesses", len(req.Accesses))
+	// Journal-then-apply, both under the stream's own lock: the journal's
+	// record order is exactly the session's apply order, which is what
+	// lets replay rebuild the session byte-identically. A journal failure
+	// is a clean 503 — nothing was applied, the client can retry. A batch
+	// the session rejects was journaled but is harmless: replay re-rejects
+	// it identically (session validation is deterministic).
+	st.mu.Lock()
+	if err := s.jl.append(journalRecord{T: recStreamAppend, ID: st.id, Accesses: req.Accesses}); err != nil {
+		st.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "journal unavailable: " + err.Error()})
+		return
+	}
 	// The session runs under a background context: an append is bounded
 	// work (at most a handful of fixed-budget rounds), and once admitted
 	// it completes even if the client goes away — the same accepted-work-
 	// is-never-dropped stance the job queue takes, and a prerequisite for
 	// the determinism contract (a half-applied append is not replayable).
 	//dwmlint:ignore ctxflow deliberate severing: an admitted append must complete even if the client disconnects, or a half-applied append would make the stream unreplayable
-	if err := st.sess.Append(context.Background(), req.Accesses); err != nil {
+	err := st.sess.Append(context.Background(), req.Accesses)
+	st.mu.Unlock()
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
@@ -585,6 +787,17 @@ func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	st, ok := s.streams[id]
 	if ok {
+		// Tombstone before removal: once the delete record is durable, no
+		// replay can resurrect the stream — not even from append records a
+		// concurrent handler journals after this point (replay drops
+		// everything past the tombstone). If the tombstone cannot be
+		// written the stream stays registered, so journal and registry
+		// never disagree.
+		if err := s.jl.append(journalRecord{T: recStreamDelete, ID: id}); err != nil {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "journal unavailable: " + err.Error()})
+			return
+		}
 		delete(s.streams, id)
 	}
 	s.mu.Unlock()
@@ -664,6 +877,15 @@ func (s *Server) runJob(j *job) {
 			}
 		}
 		j.mu.Unlock()
+		// Journal the terminal state. Failure here degrades rather than
+		// fails the job — the work is already done and acknowledged via
+		// GET; a crash before the record lands just means replay re-derives
+		// the same bytes the hard way.
+		if errMsg != "" {
+			_ = s.jl.append(journalRecord{T: recJobFailed, ID: j.id, Err: errMsg})
+		} else {
+			_ = s.jl.append(journalRecord{T: recJobDone, ID: j.id, Result: res})
+		}
 	}
 
 	defer func() {
@@ -674,9 +896,14 @@ func (s *Server) runJob(j *job) {
 	}()
 
 	// The checkpoint closure stamps the wall clock here — job.go is
-	// clock-free by design (see the walltime analyzer allowlist).
+	// clock-free by design (see the walltime analyzer allowlist). Each
+	// improvement is journaled so a recovered job starts with the
+	// pre-crash best-so-far already in hand; the wal serializes the
+	// concurrent chains' appends.
 	checkpoint := func(p layout.Placement, c int64) {
-		j.recordCheckpoint(p, c, time.Now())
+		if j.recordCheckpoint(p, c, time.Now()) {
+			_ = s.jl.append(journalRecord{T: recJobCheckpoint, ID: j.id, Placement: p, Cost: c})
+		}
 	}
 	var prebuiltGraph *graph.Graph
 	var warm layout.Placement

@@ -19,6 +19,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -76,6 +77,13 @@ type stream struct {
 	id   string
 	name string
 	sess *core.Session
+
+	// mu serializes journal-append and session-apply as one critical
+	// section per batch, so the journal's record order is exactly the
+	// order batches reached the session — the invariant that makes
+	// replay reproduce the session byte-identically. The session has its
+	// own internal synchronization; mu exists only for this ordering.
+	mu sync.Mutex
 }
 
 // status renders the stream's externally visible state from the session's

@@ -1,0 +1,73 @@
+package wal
+
+// The journal talks to storage through the FS interface so tests can
+// substitute a fault-injecting layer (internal/faultfs) for the real
+// filesystem. The interface is the minimal surface the log needs:
+// open/append/read segment files, list a directory, truncate a repaired
+// tail, and persist quarantined bytes.
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// File is the subset of *os.File the journal uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Truncate cuts the file to size bytes. The write offset is managed
+	// by the caller: the log only truncates during repair (before any
+	// append) or to roll back a failed append, and re-seeks afterwards.
+	Truncate(size int64) error
+	// Seek repositions the read/write offset.
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// FS is the filesystem surface the journal runs on. Implementations
+// must be safe for use from one goroutine at a time (the log serializes
+// all calls under its own lock).
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// ReadDir lists the file names (not full paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string, perm fs.FileMode) error
+	// WriteFile atomically-enough persists a standalone blob (used for
+	// quarantined bytes; best effort, never on the append path).
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OS returns the real-filesystem implementation of FS.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) MkdirAll(dir string, perm fs.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (osFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}

@@ -1,0 +1,240 @@
+package wal
+
+// Repair and replay: the read half of the journal. This file is
+// clock-free — all wall-clock reads stay in wal.go per the dwmlint
+// walltime contract.
+//
+// Repair policy (run once, inside Open, before any append):
+//
+//   - A partial record at the very end of the LAST segment is a torn
+//     tail — the expected artifact of a crash mid-append. It is
+//     truncated away silently (counted, not preserved: the writer never
+//     acknowledged it).
+//   - Any other damage — a CRC mismatch (bit flip) anywhere, an absurd
+//     length prefix, a partial record in a non-final segment — is
+//     quarantined: the suspect bytes from the damage point to the end
+//     of that segment are copied to <segment>.quarantine and the
+//     segment is truncated at its last valid record. Later segments
+//     are still replayed; their records were individually checksummed
+//     and framed, so damage does not cascade across segment boundaries.
+//
+// Both paths converge on the same invariant: after Open, every byte in
+// every segment below the recorded size is a valid, checksummed record.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// segPath renders the segment file path for a sequence number.
+func (l *Log) segPath(seq int) string {
+	return filepath.Join(l.opts.Dir, fmt.Sprintf("wal-%08d.seg", seq))
+}
+
+// parseSegName extracts the sequence number from a segment file name,
+// or returns false for non-segment files (quarantine blobs, strays).
+func parseSegName(name string) (int, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	seq, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"))
+	if err != nil || seq < 1 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// scanAndRepair discovers the segment chain, validates every record,
+// and heals damage (truncate torn tails, quarantine corruption) so the
+// surviving bytes are exactly the longest valid prefix of each segment.
+// Runs only from Open, before the Log is published to any other
+// goroutine, so it holds mu by exclusivity rather than by locking.
+//
+//dwmlint:holds mu
+func (l *Log) scanAndRepair() error {
+	names, err := l.fsys.ReadDir(l.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("wal: list %s: %w", l.opts.Dir, err)
+	}
+	for _, name := range names {
+		seq, ok := parseSegName(name)
+		if !ok {
+			continue
+		}
+		l.segs = append(l.segs, segInfo{seq: seq, name: filepath.Join(l.opts.Dir, name)})
+	}
+	// ReadDir returns sorted names and the fixed-width numbering makes
+	// lexicographic order numeric, but sort defensively anyway.
+	for i := 1; i < len(l.segs); i++ {
+		for j := i; j > 0 && l.segs[j-1].seq > l.segs[j].seq; j-- {
+			l.segs[j-1], l.segs[j] = l.segs[j], l.segs[j-1]
+		}
+	}
+	for i := range l.segs {
+		last := i == len(l.segs)-1
+		if err := l.repairSegment(&l.segs[i], last); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// repairSegment scans one segment, leaving seg.size at the end of its
+// longest valid record prefix and healing anything beyond it. Called
+// only from scanAndRepair, inside Open's pre-publication window.
+//
+//dwmlint:holds mu
+func (l *Log) repairSegment(seg *segInfo, last bool) error {
+	f, err := l.fsys.OpenFile(seg.name, os.O_RDONLY, 0)
+	if err != nil {
+		return fmt.Errorf("wal: open %s: %w", seg.name, err)
+	}
+	valid, damage, err := scanRecords(f, nil)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("wal: scan %s: %w", seg.name, err)
+	}
+	seg.size = valid
+	if damage == damageNone {
+		return nil
+	}
+	if damage == damageTorn && last {
+		// Torn tail on the last segment: the ordinary crash artifact.
+		l.stats.TornTruncations++
+		l.mTorn.Inc()
+		return l.truncateSegment(seg.name, valid)
+	}
+	// Corruption (or a torn non-final segment, which only an external
+	// actor can produce): preserve the suspect bytes, then cut.
+	l.quarantine(seg.name, valid)
+	l.stats.Quarantines++
+	l.mQuarantine.Inc()
+	return l.truncateSegment(seg.name, valid)
+}
+
+// damage classifies what a segment scan found past the valid prefix.
+type damage int
+
+const (
+	damageNone damage = iota
+	// damageTorn is an incomplete record at EOF: a partial header, or a
+	// payload shorter than its length prefix.
+	damageTorn
+	// damageCorrupt is a structurally complete but invalid record: CRC
+	// mismatch, zero or oversized length prefix.
+	damageCorrupt
+)
+
+// scanRecords reads framed records from r until EOF or damage,
+// returning the byte length of the valid prefix and the damage class.
+// When deliver is non-nil it receives each valid payload (the replay
+// path); repair passes nil and only measures.
+func scanRecords(r io.Reader, deliver func([]byte) error) (valid int64, d damage, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var off int64
+	hdr := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			if err == io.EOF {
+				return off, damageNone, nil
+			}
+			if err == io.ErrUnexpectedEOF {
+				return off, damageTorn, nil
+			}
+			return off, damageNone, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > MaxRecordBytes {
+			return off, damageCorrupt, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return off, damageTorn, nil
+			}
+			return off, damageNone, err
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			return off, damageCorrupt, nil
+		}
+		if deliver != nil {
+			if err := deliver(payload); err != nil {
+				return off, damageNone, err
+			}
+		}
+		off += 8 + int64(n)
+	}
+}
+
+// quarantine copies seg's bytes from offset from to the end into a
+// .quarantine side file. Best effort: quarantine exists for forensics,
+// and failing to preserve garbage must not block recovery.
+func (l *Log) quarantine(name string, from int64) {
+	f, err := l.fsys.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	if _, err := f.Seek(from, 0); err != nil {
+		return
+	}
+	blob, err := io.ReadAll(io.LimitReader(f, MaxRecordBytes))
+	if err != nil || len(blob) == 0 {
+		return
+	}
+	_ = l.fsys.WriteFile(name+".quarantine", blob, 0o644)
+}
+
+// truncateSegment cuts a segment to size bytes.
+func (l *Log) truncateSegment(name string, size int64) error {
+	f, err := l.fsys.OpenFile(name, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("wal: repair %s: %w", name, err)
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return fmt.Errorf("wal: truncate %s: %w", name, err)
+	}
+	return nil
+}
+
+// Replay streams every committed record to fn, oldest first — the
+// prefix repaired by Open plus any records appended since. The natural
+// calling sequence is Open → Replay → Append. A non-nil error from fn
+// aborts the replay and is returned.
+func (l *Log) Replay(fn func(payload []byte) error) error {
+	l.mu.Lock()
+	segs := append([]segInfo(nil), l.segs...)
+	l.mu.Unlock()
+	for _, seg := range segs {
+		if seg.size == 0 {
+			continue
+		}
+		f, err := l.fsys.OpenFile(seg.name, os.O_RDONLY, 0)
+		if err != nil {
+			return fmt.Errorf("wal: replay %s: %w", seg.name, err)
+		}
+		delivered := int64(0)
+		_, _, err = scanRecords(io.LimitReader(f, seg.size), func(p []byte) error {
+			delivered++
+			l.mReplayed.Inc()
+			return fn(p)
+		})
+		f.Close()
+		if err != nil {
+			return err
+		}
+		l.mu.Lock()
+		l.stats.Replayed += delivered
+		l.mu.Unlock()
+	}
+	return nil
+}
