@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-self lint-bench fmt-check test race bench-smoke bench-report merge-smoke determinism-smoke serve-smoke obs-smoke cache-smoke stream-smoke crash-smoke chaos ci
+.PHONY: all build vet lint lint-self lint-bench fmt-check test race bench-smoke bench-report merge-smoke determinism-smoke serve-smoke obs-smoke cache-smoke stream-smoke crash-smoke load-smoke chaos ci
 
 all: ci
 
@@ -128,6 +128,15 @@ stream-smoke:
 crash-smoke:
 	@GO="$(GO)" sh scripts/crash_smoke.sh
 
+# Load-test smoke: dwmload's deterministic smoke scenario against a
+# live journaled daemon must pass its SLO budget and write
+# BENCH_dwmload.json with nonzero percentiles; the per-tenant labeled
+# series pass promlint under a cardinality bound; and a trace ID the
+# client computed locally is found verbatim on server-side spans in
+# /debug/events (cross-process propagation, closed end to end).
+load-smoke:
+	@GO="$(GO)" sh scripts/load_smoke.sh
+
 # Widened chaos sweep: the faultfs atomicity property (acknowledged
 # appends survive injected short writes, fsync errors, and crashes;
 # unacknowledged ones never resurrect) over many more deterministic
@@ -135,4 +144,4 @@ crash-smoke:
 chaos:
 	CHAOS_SEEDS=128 $(GO) test ./internal/faultfs/ -run TestChaosAtomicity -count=1
 
-ci: fmt-check vet lint lint-self build race bench-smoke merge-smoke determinism-smoke serve-smoke obs-smoke cache-smoke stream-smoke crash-smoke chaos
+ci: fmt-check vet lint lint-self build race bench-smoke merge-smoke determinism-smoke serve-smoke obs-smoke cache-smoke stream-smoke crash-smoke load-smoke chaos

@@ -33,6 +33,9 @@ var wallTimeAllowedFiles = map[string]string{
 	// wal.go times fsync latency for the serve.wal.fsync_ms histogram;
 	// replay.go and fs.go stay clock-free.
 	"repro/internal/wal": "wal.go",
+	// The load generator measures client-side request latency; the
+	// scenario plan and SLO report it feeds stay pure.
+	"repro/cmd/dwmload": "main.go",
 }
 
 func runWallTime(pass *Pass) error {

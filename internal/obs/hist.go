@@ -24,6 +24,20 @@ type Histogram struct {
 	bounds []float64
 	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
 	sum    atomic.Int64
+	// exemplars holds, per bucket, the most recent traced observation
+	// (see ObserveTrace) — the breadcrumb that links a latency bucket
+	// back to a concrete request in /debug/events. Last-write-wins; nil
+	// entries mean the bucket has never seen a traced observation.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observation to the trace it belonged to.
+type Exemplar struct {
+	// Trace is the cross-process trace ID (see TraceContext) of the
+	// request that produced the observation.
+	Trace string `json:"trace"`
+	// Value is the observed value.
+	Value int64 `json:"value"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -41,10 +55,21 @@ func newHistogram(bounds []float64) *Histogram {
 		}
 	}
 	h := &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)+1),
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 	return h
+}
+
+// resetHistogram zeroes a histogram in place (Registry.Reset and the
+// vec reset path).
+func resetHistogram(h *Histogram) {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+		h.exemplars[i].Store(nil)
+	}
+	h.sum.Store(0)
 }
 
 // Observe records one value.
@@ -52,6 +77,18 @@ func (h *Histogram) Observe(v int64) {
 	i := sort.SearchFloat64s(h.bounds, float64(v))
 	h.counts[i].Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveTrace records one value and, when traceID is nonempty, stamps
+// it as the bucket's exemplar. One atomic pointer store on top of
+// Observe — cheap enough for the serving layer to use on every request.
+func (h *Histogram) ObserveTrace(v int64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, float64(v))
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Trace: traceID, Value: v})
+	}
 }
 
 // Local returns a single-goroutine accumulation buffer for this
@@ -104,6 +141,12 @@ func (h *Histogram) Stats() HistStats {
 		c := h.counts[i].Load()
 		s.Counts[i] = c
 		s.Count += c
+		if ex := h.exemplars[i].Load(); ex != nil {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]*Exemplar, len(h.counts))
+			}
+			s.Exemplars[i] = ex
+		}
 	}
 	return s
 }
@@ -118,6 +161,10 @@ type HistStats struct {
 	// Sum is the sum of all observed values.
 	Count int64 `json:"count"`
 	Sum   int64 `json:"sum"`
+	// Exemplars, when non-nil, parallels Counts: entry i is the most
+	// recent traced observation that landed in bucket i, nil when the
+	// bucket has none. Omitted entirely when no bucket has one.
+	Exemplars []*Exemplar `json:"exemplars,omitempty"`
 }
 
 // Mean returns the mean observed value (0 when empty).

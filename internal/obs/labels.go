@@ -1,0 +1,305 @@
+package obs
+
+// Labeled instruments. A CounterVec / HistogramVec is a family of
+// counters (histograms) keyed by a small, declared label set — tenant,
+// policy, outcome — the per-tenant attribution the serving layer stamps
+// on every request. Cardinality is bounded by construction: each vec
+// caps its distinct label combinations (default 64), and once the cap
+// is reached new combinations collapse into one overflow child whose
+// every label value is OverflowLabel. A hostile or merely unbounded
+// label source (user-chosen tenant names, say) can therefore never grow
+// the exposition without limit; the overflow child keeps the totals
+// honest while the interesting series stay per-value. cmd/promlint's
+// cardinality check is the matching scrape-side gate.
+//
+// Label KEYS are declared once at registration and must be legal
+// Prometheus label names; label VALUES are arbitrary strings, escaped
+// at exposition time. The child lookup is one mutex-guarded map probe;
+// hot paths that care hold on to the returned *Counter / *Histogram.
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// OverflowLabel is the label value every series beyond a vec's
+// cardinality cap collapses into.
+const OverflowLabel = "_other"
+
+// DefaultMaxSeries is the per-vec cardinality cap when the registry's
+// vec constructors are called with no explicit bound.
+const DefaultMaxSeries = 64
+
+// labelKeyRE is the Prometheus label-name grammar (no leading "__",
+// which is reserved for internal use).
+var labelKeyRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// validateLabelKeys panics on a malformed or reserved label key —
+// label sets are declared by code, not data, so this is a programming
+// error on the same footing as malformed histogram bounds.
+func validateLabelKeys(name string, keys []string) {
+	if len(keys) == 0 {
+		panic(fmt.Sprintf("obs: vec %q declares no label keys", name))
+	}
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if !labelKeyRE.MatchString(k) || strings.HasPrefix(k, "__") {
+			panic(fmt.Sprintf("obs: vec %q has invalid label key %q", name, k))
+		}
+		if seen[k] {
+			panic(fmt.Sprintf("obs: vec %q repeats label key %q", name, k))
+		}
+		seen[k] = true
+	}
+}
+
+// childKey serializes label values into a map key. \xff cannot appear
+// in the middle of a UTF-8 rune, so values cannot alias across the
+// separator.
+func childKey(values []string) string {
+	return strings.Join(values, "\xff")
+}
+
+// CounterVec is a family of counters over a fixed label set. Obtain one
+// from a Registry; the zero value is unusable.
+type CounterVec struct {
+	name string
+	keys []string
+	max  int
+
+	mu       sync.Mutex
+	children map[string]*counterChild //dwmlint:guard mu
+}
+
+type counterChild struct {
+	values []string
+	c      Counter
+}
+
+func newCounterVec(name string, keys []string, max int) *CounterVec {
+	validateLabelKeys(name, keys)
+	if max <= 0 {
+		max = DefaultMaxSeries
+	}
+	return &CounterVec{name: name, keys: keys, max: max, children: map[string]*counterChild{}}
+}
+
+// With returns the counter for the given label values (one per declared
+// key, in declaration order), creating it on first use. Once the vec
+// holds max distinct combinations, unseen combinations all map to the
+// overflow child. The returned counter is valid forever; hot callers
+// should keep it.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("obs: vec %q wants %d label values, got %d", v.name, len(v.keys), len(values)))
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	key := childKey(values)
+	ch, ok := v.children[key]
+	if !ok {
+		if len(v.children) >= v.max {
+			return &v.overflowLocked().c
+		}
+		ch = &counterChild{values: append([]string(nil), values...)}
+		v.children[key] = ch
+	}
+	return &ch.c
+}
+
+// overflowLocked returns (creating if needed) the overflow child. The
+// overflow child may push the map one past max — the cap bounds real
+// combinations, and the overflow series must always exist to absorb
+// them. Called only from With with v.mu held.
+//
+//dwmlint:holds mu
+func (v *CounterVec) overflowLocked() *counterChild {
+	values := make([]string, len(v.keys))
+	for i := range values {
+		values[i] = OverflowLabel
+	}
+	key := childKey(values)
+	ch, ok := v.children[key]
+	if !ok {
+		ch = &counterChild{values: values}
+		v.children[key] = ch
+	}
+	return ch
+}
+
+// snapshot copies the vec's series, sorted by label values.
+func (v *CounterVec) snapshot() LabeledCounterStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s := LabeledCounterStats{Keys: append([]string(nil), v.keys...)}
+	for _, ch := range v.children {
+		//dwmlint:ignore maporder sortSeries below restores the deterministic label-value order
+		s.Series = append(s.Series, LabeledSample{
+			Values: append([]string(nil), ch.values...),
+			Value:  ch.c.Value(),
+		})
+	}
+	sortSeries(s.Series, func(ls LabeledSample) []string { return ls.Values })
+	return s
+}
+
+// reset zeroes every child in place (handles stay valid).
+func (v *CounterVec) reset() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, ch := range v.children {
+		ch.c.v.Store(0)
+	}
+}
+
+// HistogramVec is a family of fixed-bucket histograms over a fixed
+// label set; every child shares the vec's bucket bounds.
+type HistogramVec struct {
+	name   string
+	keys   []string
+	bounds []float64
+	max    int
+
+	mu       sync.Mutex
+	children map[string]*histChild //dwmlint:guard mu
+}
+
+type histChild struct {
+	values []string
+	h      *Histogram
+}
+
+func newHistogramVec(name string, keys []string, bounds []float64, max int) *HistogramVec {
+	validateLabelKeys(name, keys)
+	if max <= 0 {
+		max = DefaultMaxSeries
+	}
+	return &HistogramVec{
+		name:     name,
+		keys:     keys,
+		bounds:   append([]float64(nil), bounds...),
+		max:      max,
+		children: map[string]*histChild{},
+	}
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use; past the cardinality cap, unseen combinations share the
+// overflow child (see CounterVec.With).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("obs: vec %q wants %d label values, got %d", v.name, len(v.keys), len(values)))
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	key := childKey(values)
+	ch, ok := v.children[key]
+	if !ok {
+		if len(v.children) >= v.max {
+			return v.overflowLocked().h
+		}
+		ch = &histChild{values: append([]string(nil), values...), h: newHistogram(v.bounds)}
+		v.children[key] = ch
+	}
+	return ch.h
+}
+
+// overflowLocked returns (creating if needed) the overflow child; see
+// CounterVec.overflowLocked. Called only from With with v.mu held.
+//
+//dwmlint:holds mu
+func (v *HistogramVec) overflowLocked() *histChild {
+	values := make([]string, len(v.keys))
+	for i := range values {
+		values[i] = OverflowLabel
+	}
+	key := childKey(values)
+	ch, ok := v.children[key]
+	if !ok {
+		ch = &histChild{values: values, h: newHistogram(v.bounds)}
+		v.children[key] = ch
+	}
+	return ch
+}
+
+// snapshot copies the vec's series, sorted by label values.
+func (v *HistogramVec) snapshot() LabeledHistStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s := LabeledHistStats{Keys: append([]string(nil), v.keys...)}
+	for _, ch := range v.children {
+		//dwmlint:ignore maporder sortSeries below restores the deterministic label-value order
+		s.Series = append(s.Series, LabeledHistSample{
+			Values: append([]string(nil), ch.values...),
+			Hist:   ch.h.Stats(),
+		})
+	}
+	sortSeries(s.Series, func(ls LabeledHistSample) []string { return ls.Values })
+	return s
+}
+
+// reset zeroes every child histogram in place.
+func (v *HistogramVec) reset() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, ch := range v.children {
+		resetHistogram(ch.h)
+	}
+}
+
+// LabeledCounterStats is the snapshot form of a CounterVec: the declared
+// keys and every series, sorted by label values.
+type LabeledCounterStats struct {
+	Keys   []string        `json:"keys"`
+	Series []LabeledSample `json:"series"`
+}
+
+// LabeledSample is one labeled counter series.
+type LabeledSample struct {
+	Values []string `json:"values"`
+	Value  int64    `json:"value"`
+}
+
+// LabeledHistStats is the snapshot form of a HistogramVec.
+type LabeledHistStats struct {
+	Keys   []string            `json:"keys"`
+	Series []LabeledHistSample `json:"series"`
+}
+
+// LabeledHistSample is one labeled histogram series.
+type LabeledHistSample struct {
+	Values []string  `json:"values"`
+	Hist   HistStats `json:"hist"`
+}
+
+// sortSeries orders series lexically by their label-value vectors — the
+// deterministic order of the snapshot and the exposition.
+func sortSeries[T any](s []T, values func(T) []string) {
+	sort.Slice(s, func(i, j int) bool {
+		a, b := values(s[i]), values(s[j])
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// labelPairs renders a label set body ("k1=v1,k2=v2" style with escaped
+// quoted values) in declared key order, for the exposition writer.
+func labelPairs(keys, values []string) string {
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// Quote by hand: escapeLabelValue already produced the exact
+		// escape sequences the text format wants, which %q would mangle.
+		fmt.Fprintf(&b, "%s=\"%s\"", k, escapeLabelValue(values[i]))
+	}
+	return b.String()
+}

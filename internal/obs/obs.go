@@ -107,11 +107,13 @@ func (s TimerStats) MeanNS() int64 {
 // Registry holds named instruments. The zero value is ready to use; most
 // code uses the package-level default registry instead.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
-	hists    map[string]*Histogram
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	timers      map[string]*Timer
+	hists       map[string]*Histogram
+	counterVecs map[string]*CounterVec
+	histVecs    map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
@@ -182,6 +184,41 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// CounterVec returns the labeled counter family with the given name,
+// creating it with the given label keys and the default cardinality cap
+// (DefaultMaxSeries) on first use. Like Histogram, the first
+// registration's shape wins.
+func (r *Registry) CounterVec(name string, keys []string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counterVecs == nil {
+		r.counterVecs = map[string]*CounterVec{}
+	}
+	v, ok := r.counterVecs[name]
+	if !ok {
+		v = newCounterVec(name, keys, 0)
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the labeled histogram family with the given
+// name, creating it with the given label keys, bucket bounds, and the
+// default cardinality cap on first use.
+func (r *Registry) HistogramVec(name string, keys []string, bounds []float64) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histVecs == nil {
+		r.histVecs = map[string]*HistogramVec{}
+	}
+	v, ok := r.histVecs[name]
+	if !ok {
+		v = newHistogramVec(name, keys, bounds, 0)
+		r.histVecs[name] = v
+	}
+	return v
+}
+
 // Snapshot is a point-in-time copy of every instrument in a registry,
 // the unit the -json report embeds.
 type Snapshot struct {
@@ -189,6 +226,10 @@ type Snapshot struct {
 	Gauges     map[string]int64      `json:"gauges,omitempty"`
 	Timers     map[string]TimerStats `json:"timers,omitempty"`
 	Histograms map[string]HistStats  `json:"histograms,omitempty"`
+	// LabeledCounters / LabeledHistograms hold the vec families; each
+	// family's series are sorted by label values (see labels.go).
+	LabeledCounters   map[string]LabeledCounterStats `json:"labeled_counters,omitempty"`
+	LabeledHistograms map[string]LabeledHistStats    `json:"labeled_histograms,omitempty"`
 }
 
 // Snapshot copies the current value of every instrument.
@@ -220,6 +261,18 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Histograms[name] = h.Stats()
 		}
 	}
+	if len(r.counterVecs) > 0 {
+		s.LabeledCounters = make(map[string]LabeledCounterStats, len(r.counterVecs))
+		for name, v := range r.counterVecs {
+			s.LabeledCounters[name] = v.snapshot()
+		}
+	}
+	if len(r.histVecs) > 0 {
+		s.LabeledHistograms = make(map[string]LabeledHistStats, len(r.histVecs))
+		for name, v := range r.histVecs {
+			s.LabeledHistograms[name] = v.snapshot()
+		}
+	}
 	return s
 }
 
@@ -240,10 +293,13 @@ func (r *Registry) Reset() {
 		t.maxNS.Store(0)
 	}
 	for _, h := range r.hists {
-		for i := range h.counts {
-			h.counts[i].Store(0)
-		}
-		h.sum.Store(0)
+		resetHistogram(h)
+	}
+	for _, v := range r.counterVecs {
+		v.reset()
+	}
+	for _, v := range r.histVecs {
+		v.reset()
 	}
 }
 
@@ -293,6 +349,34 @@ func (s Snapshot) Format() string {
 				formatBound(st.Quantile(0.50)), formatBound(st.Quantile(0.95)), formatBound(st.Quantile(1)))
 		}
 	}
+	if len(s.LabeledCounters) > 0 {
+		names := make([]string, 0, len(s.LabeledCounters))
+		for name := range s.LabeledCounters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			st := s.LabeledCounters[name]
+			for _, ls := range st.Series {
+				fmt.Fprintf(&b, "counter %s{%s} %d\n", name, labelPairs(st.Keys, ls.Values), ls.Value)
+			}
+		}
+	}
+	if len(s.LabeledHistograms) > 0 {
+		names := make([]string, 0, len(s.LabeledHistograms))
+		for name := range s.LabeledHistograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			st := s.LabeledHistograms[name]
+			for _, ls := range st.Series {
+				fmt.Fprintf(&b, "hist    %s{%s} count=%d sum=%d p50=%s p95=%s\n",
+					name, labelPairs(st.Keys, ls.Values), ls.Hist.Count, ls.Hist.Sum,
+					formatBound(ls.Hist.Quantile(0.50)), formatBound(ls.Hist.Quantile(0.95)))
+			}
+		}
+	}
 	return b.String()
 }
 
@@ -325,6 +409,18 @@ func GetTimer(name string) *Timer { return defaultRegistry.Timer(name) }
 // it with the given bucket bounds on first use (see Registry.Histogram).
 func GetHistogram(name string, bounds []float64) *Histogram {
 	return defaultRegistry.Histogram(name, bounds)
+}
+
+// GetCounterVec returns a labeled counter family from the default
+// registry (see Registry.CounterVec).
+func GetCounterVec(name string, keys []string) *CounterVec {
+	return defaultRegistry.CounterVec(name, keys)
+}
+
+// GetHistogramVec returns a labeled histogram family from the default
+// registry (see Registry.HistogramVec).
+func GetHistogramVec(name string, keys []string, bounds []float64) *HistogramVec {
+	return defaultRegistry.HistogramVec(name, keys, bounds)
 }
 
 // Take returns a snapshot of the default registry.

@@ -109,9 +109,60 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 		_, err := fmt.Fprintf(w, "%s %d\n", name, value)
 		return err
 	}
+	// writeHist emits one histogram series: cumulative buckets (each
+	// carrying its exemplar, when the bucket has one, as an
+	// OpenMetrics-style " # {trace_id=...} value" annotation), then
+	// _sum and _count. labels is the series' non-le label set body,
+	// empty for unlabeled histograms.
+	writeHist := func(base, labels string, st HistStats) error {
+		var cum int64
+		for i, c := range st.Counts {
+			cum += c
+			le := math.Inf(1)
+			if i < len(st.Bounds) {
+				le = st.Bounds[i]
+			}
+			sep := ""
+			if labels != "" {
+				sep = ","
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d",
+				base, labels, sep, escapeLabelValue(formatLe(le)), cum); err != nil {
+				return err
+			}
+			if st.Exemplars != nil && st.Exemplars[i] != nil {
+				ex := st.Exemplars[i]
+				if _, err := fmt.Fprintf(w, " # {trace_id=\"%s\"} %d",
+					escapeLabelValue(ex.Trace), ex.Value); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		_, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n", base, suffix, st.Sum, base, suffix, cum)
+		return err
+	}
 	for _, name := range sortedKeys(s.Counters) {
 		if err := emit(promName(name), "counter", s.Counters[name]); err != nil {
 			return err
+		}
+	}
+	for _, name := range sortedKeys(s.LabeledCounters) {
+		st := s.LabeledCounters[name]
+		base := promName(name)
+		if err := typeLine(base, "counter"); err != nil {
+			return err
+		}
+		for _, ls := range st.Series {
+			if _, err := fmt.Fprintf(w, "%s{%s} %d\n", base, labelPairs(st.Keys, ls.Values), ls.Value); err != nil {
+				return err
+			}
 		}
 	}
 	for _, name := range sortedKeys(s.Gauges) {
@@ -125,20 +176,20 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 		if err := typeLine(base, "histogram"); err != nil {
 			return err
 		}
-		var cum int64
-		for i, c := range st.Counts {
-			cum += c
-			le := math.Inf(1)
-			if i < len(st.Bounds) {
-				le = st.Bounds[i]
-			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
-				base, escapeLabelValue(formatLe(le)), cum); err != nil {
+		if err := writeHist(base, "", st); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.LabeledHistograms) {
+		st := s.LabeledHistograms[name]
+		base := promName(name)
+		if err := typeLine(base, "histogram"); err != nil {
+			return err
+		}
+		for _, ls := range st.Series {
+			if err := writeHist(base, labelPairs(st.Keys, ls.Values), ls.Hist); err != nil {
 				return err
 			}
-		}
-		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", base, st.Sum, base, cum); err != nil {
-			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Timers) {
@@ -166,14 +217,39 @@ var lintLineRE = regexp.MustCompile(
 var lintLabelRE = regexp.MustCompile(
 	`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
 
+// lintExemplarRE matches the OpenMetrics-style exemplar annotation the
+// snapshot writer appends to bucket samples: a one-label set (the trace
+// ID) and the exemplar's value.
+var lintExemplarRE = regexp.MustCompile(
+	`^\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"\} -?[0-9]+(\.[0-9]+)?$`)
+
+// LintOptions tunes LintExpositionOpts.
+type LintOptions struct {
+	// MaxSeriesPerMetric bounds the number of distinct label sets (the
+	// le bucket label excluded) any one metric family may carry; 0
+	// disables the check. Exceeding the bound is the signature of an
+	// unbounded label — cardinality that grows with the data instead of
+	// with the code — which the in-process vecs prevent by construction
+	// (see labels.go) and this check catches at the scrape.
+	MaxSeriesPerMetric int
+}
+
 // LintExposition is the conformance checker for the text exposition
 // format the snapshot writer produces: every sample's metric name is
 // valid and preceded by a matching # TYPE line, no metric is declared
 // twice, no series is emitted twice, label sets parse with escaped
-// values, and histograms are complete (a +Inf bucket whose cumulative
-// count equals <name>_count, with non-decreasing bucket counts and a
-// <name>_sum). It returns the first violation found, or nil.
+// values, exemplar annotations are well-formed, and every histogram
+// series is complete (a +Inf bucket whose cumulative count equals its
+// _count, with non-decreasing bucket counts and a _sum — tracked per
+// label set, since labeled histograms restart the cumulative sequence
+// for each series). It returns the first violation found, or nil.
 func LintExposition(r io.Reader) error {
+	return LintExpositionOpts(r, LintOptions{})
+}
+
+// LintExpositionOpts is LintExposition with explicit options; see
+// LintOptions for the cardinality bound cmd/promlint exposes.
+func LintExpositionOpts(r io.Reader, opts LintOptions) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	declared := map[string]string{} // metric name -> type
@@ -186,7 +262,9 @@ func LintExposition(r io.Reader) error {
 		sawCount bool
 		count    int64
 	}
-	hists := map[string]*histState{}
+	hists := map[string]bool{}            // declared histogram families
+	histSeries := map[string]*histState{} // family + "\xff" + non-le label set
+	cardinality := map[string]map[string]bool{}
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -214,12 +292,21 @@ func LintExposition(r io.Reader) error {
 				}
 				declared[name] = typ
 				if typ == "histogram" {
-					hists[name] = &histState{}
+					hists[name] = true
 				}
 			}
 			continue // HELP and free comments pass through
 		}
-		m := lintLineRE.FindStringSubmatch(line)
+		// Split off an exemplar annotation before parsing the sample:
+		// `name{labels} value # {trace_id="..."} exemplar-value`.
+		sample := line
+		if i := strings.Index(line, " # "); i >= 0 {
+			sample = line[:i]
+			if !lintExemplarRE.MatchString(line[i+3:]) {
+				return fmt.Errorf("line %d: malformed exemplar annotation %q", lineNo, line[i+3:])
+			}
+		}
+		m := lintLineRE.FindStringSubmatch(sample)
 		if m == nil {
 			return fmt.Errorf("line %d: malformed sample line: %q", lineNo, line)
 		}
@@ -240,10 +327,25 @@ func LintExposition(r io.Reader) error {
 			return fmt.Errorf("line %d: series %q emitted twice", lineNo, series)
 		}
 		seenSeries[series] = true
-		if h, isHist := hists[base]; isHist {
+		ident := stripLabel(labels, "le")
+		if cardinality[base] == nil {
+			cardinality[base] = map[string]bool{}
+		}
+		cardinality[base][ident] = true
+		if opts.MaxSeriesPerMetric > 0 && len(cardinality[base]) > opts.MaxSeriesPerMetric {
+			return fmt.Errorf("line %d: metric %q exceeds %d distinct label sets — unbounded label cardinality",
+				lineNo, base, opts.MaxSeriesPerMetric)
+		}
+		if hists[base] {
 			v, err := strconv.ParseInt(value, 10, 64)
 			if err != nil {
 				return fmt.Errorf("line %d: histogram sample %q has non-integer value %q", lineNo, name, value)
+			}
+			key := base + "\xff" + ident
+			h := histSeries[key]
+			if h == nil {
+				h = &histState{}
+				histSeries[key] = h
 			}
 			switch {
 			case name == base+"_bucket":
@@ -270,8 +372,12 @@ func LintExposition(r io.Reader) error {
 	if err := sc.Err(); err != nil {
 		return err
 	}
-	for _, name := range sortedKeys(hists) {
-		h := hists[name]
+	for _, key := range sortedKeys(histSeries) {
+		h := histSeries[key]
+		name, ident, _ := strings.Cut(key, "\xff")
+		if ident != "" {
+			name = name + "{" + ident + "}"
+		}
 		switch {
 		case !h.sawInf:
 			return fmt.Errorf("histogram %q has no +Inf bucket", name)
@@ -284,6 +390,23 @@ func LintExposition(r io.Reader) error {
 		}
 	}
 	return nil
+}
+
+// stripLabel removes one label pair from a label set body, preserving
+// the order of the rest — a histogram series' identity is its label set
+// without the le bucket label.
+func stripLabel(labels, key string) string {
+	if labels == "" {
+		return ""
+	}
+	var kept []string
+	for _, pair := range splitLabels(labels) {
+		if k, _, ok := strings.Cut(pair, "="); ok && k == key {
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	return strings.Join(kept, ",")
 }
 
 // seriesBase resolves a sample name to its declared metric: exact match

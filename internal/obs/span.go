@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,10 +27,21 @@ import (
 
 // SpanRecord is one completed span as it sits in the ring buffer.
 type SpanRecord struct {
-	// ID identifies the span within the process; Parent is the ID of the
-	// enclosing span, 0 for roots.
-	ID     uint64 `json:"id"`
+	// ID identifies the span within the process. IDs are assigned from
+	// one atomic counter at StartSpan, so they double as a start
+	// sequence: sorting by ID recovers start order exactly, regardless
+	// of end (= ring insertion) order.
+	ID uint64 `json:"id"`
+	// Parent is the ID of the enclosing span in this process, 0 for
+	// roots.
 	Parent uint64 `json:"parent,omitempty"`
+	// Trace is the 32-hex-digit cross-process trace ID the span belongs
+	// to (empty when the span's context carried no TraceContext); Remote
+	// is the caller's span ID from the propagated traceparent, stamped
+	// only on spans with no in-process parent, so a server-side root
+	// nests under the client span that caused it.
+	Trace  string `json:"trace,omitempty"`
+	Remote string `json:"remote,omitempty"`
 	Name   string `json:"name"`
 	// StartNS is the span's wall-clock start in Unix nanoseconds; DurNS
 	// its duration.
@@ -141,6 +153,8 @@ type Span struct {
 	name   string
 	id     uint64
 	parent uint64
+	trace  string
+	remote uint64 // remote parent span ID, roots of a propagated trace only
 	start  time.Time
 	attrs  []Attr
 	ended  atomic.Bool
@@ -153,7 +167,12 @@ type spanCtxKey struct{}
 // StartSpan begins a span. When tracing is disabled it returns the
 // context unchanged and a nil span; when enabled, the returned context
 // carries the new span's ID so descendant StartSpan calls nest under
-// it. The span must be finished with End (typically deferred).
+// it. If the context carries a TraceContext (see ContextWithTrace), the
+// span records its trace ID — and, for the first span of the trace in
+// this process, the propagated remote parent — and the returned context
+// advances the TraceContext's SpanID to this span, so an outbound call
+// made under it names the nearest enclosing span as its parent. The
+// span must be finished with End (typically deferred).
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	t := tracer.Load()
 	if t == nil {
@@ -169,6 +188,13 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		id:     t.nextID.Add(1),
 		parent: parent,
 		start:  time.Now(),
+	}
+	if tc, ok := TraceFromContext(ctx); ok {
+		s.trace = tc.TraceID
+		if parent == 0 {
+			s.remote = tc.SpanID
+		}
+		ctx = ContextWithTrace(ctx, TraceContext{TraceID: tc.TraceID, SpanID: s.id})
 	}
 	return context.WithValue(ctx, spanCtxKey{}, s.id), s
 }
@@ -191,13 +217,42 @@ func (s *Span) End() {
 	if s == nil || !s.ended.CompareAndSwap(false, true) {
 		return
 	}
-	s.t.push(SpanRecord{
+	rec := SpanRecord{
 		ID:      s.id,
 		Parent:  s.parent,
+		Trace:   s.trace,
 		Name:    s.name,
 		StartNS: s.start.UnixNano(),
 		DurNS:   time.Since(s.start).Nanoseconds(),
 		Attrs:   s.attrs,
+	}
+	if s.remote != 0 {
+		rec.Remote = fmt.Sprintf("%016x", s.remote)
+	}
+	s.t.push(rec)
+}
+
+// TraceContext returns the span's cross-process identity — its trace ID
+// with the span itself as parent — for injection into an outbound call.
+// ok is false for a nil span or a span outside any trace.
+func (s *Span) TraceContext() (TraceContext, bool) {
+	if s == nil || s.trace == "" {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: s.trace, SpanID: s.id}, true
+}
+
+// SortSpans orders spans by (trace ID, start sequence): spans of the
+// same trace group together in start order (span IDs are assigned at
+// StartSpan from one counter), with untraced spans — empty trace ID —
+// first. This is the stable order GET /debug/events returns regardless
+// of how the overwrite-oldest ring wrapped.
+func SortSpans(spans []SpanRecord) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Trace != spans[j].Trace {
+			return spans[i].Trace < spans[j].Trace
+		}
+		return spans[i].ID < spans[j].ID
 	})
 }
 

@@ -38,6 +38,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -63,6 +64,26 @@ type Options struct {
 	// Sleep replaces the waiting primitive (tests); nil selects a
 	// context-aware sleep.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// OnRetry, when non-nil, observes every retry the client is about to
+	// sleep through — the 429s and 5xx blips the retry loop otherwise
+	// absorbs silently. Load generators (cmd/dwmload) use it to count
+	// backpressure against an SLO budget. The hook must not block; it
+	// runs inline in the retry loop.
+	OnRetry func(RetryInfo)
+}
+
+// RetryInfo describes one retry the client is about to wait out.
+type RetryInfo struct {
+	// Op is the logical call ("submit", "get", "cancel", "stream.append",
+	// ...), Attempt the 1-based try that just failed.
+	Op      string
+	Attempt int
+	// Status is the HTTP status that triggered the retry, 0 for
+	// transport errors (Err then carries the cause).
+	Status int
+	Err    error
+	// Wait is how long the client will sleep before the next try.
+	Wait time.Duration
 }
 
 func (o Options) maxAttempts() int {
@@ -179,8 +200,11 @@ func retryAfter(resp *http.Response) (time.Duration, bool) {
 	return time.Duration(secs) * time.Second, true
 }
 
-// do POSTs or GETs once and classifies the outcome.
-func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, []byte, error) {
+// do POSTs or GETs once and classifies the outcome. A valid tc is
+// injected as a traceparent header, the propagation half of
+// cross-process tracing: the server extracts it and its spans land in
+// the caller's trace.
+func (c *Client) do(ctx context.Context, tc obs.TraceContext, method, path string, body []byte) (*http.Response, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -191,6 +215,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if tc.Valid() {
+		req.Header.Set("traceparent", tc.TraceParent())
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -217,14 +244,22 @@ func apiMessage(body []byte) string {
 }
 
 // roundTrip runs one API call under the retry policy. key seeds the
-// deterministic jitter; wantStatus lists the statuses that terminate
-// the loop successfully.
+// deterministic jitter and names the call for the OnRetry hook. The
+// injected trace is the context's TraceContext when the caller attached
+// one (Submit attaches the request's canonical trace), else a
+// deterministic derivation from key — every request carries a
+// traceparent, and equal calls carry equal traces.
 func (c *Client) roundTrip(ctx context.Context, key, method, path string, body []byte, out any) error {
+	tc, ok := obs.TraceFromContext(ctx)
+	if !ok {
+		tc = obs.DeriveTraceContext("client/" + key)
+	}
 	maxAttempts := c.opts.maxAttempts()
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		resp, payload, err := c.do(ctx, method, path, body)
+		resp, payload, err := c.do(ctx, tc, method, path, body)
 		var wait time.Duration
+		status := 0
 		switch {
 		case err != nil:
 			// Transport failure: connection reset/refused — the restart
@@ -235,6 +270,7 @@ func (c *Client) roundTrip(ctx context.Context, key, method, path string, body [
 			lastErr = err
 			wait = c.backoffFor(key, attempt)
 		case resp.StatusCode == http.StatusTooManyRequests:
+			status = resp.StatusCode
 			lastErr = &APIError{Status: resp.StatusCode, Message: apiMessage(payload)}
 			// Honor the server's hint exactly — it is already jittered per
 			// request; fall back to our own backoff when the hint is absent.
@@ -244,6 +280,7 @@ func (c *Client) roundTrip(ctx context.Context, key, method, path string, body [
 				wait = c.backoffFor(key, attempt)
 			}
 		case resp.StatusCode >= 500:
+			status = resp.StatusCode
 			lastErr = &APIError{Status: resp.StatusCode, Message: apiMessage(payload)}
 			wait = c.backoffFor(key, attempt)
 		case resp.StatusCode >= 400:
@@ -256,6 +293,9 @@ func (c *Client) roundTrip(ctx context.Context, key, method, path string, body [
 		}
 		if attempt >= maxAttempts {
 			return fmt.Errorf("client: %d attempts exhausted: %w", maxAttempts, lastErr)
+		}
+		if c.opts.OnRetry != nil {
+			c.opts.OnRetry(RetryInfo{Op: key, Attempt: attempt, Status: status, Err: lastErr, Wait: wait})
 		}
 		if err := c.sleep(ctx, wait); err != nil {
 			return err
@@ -274,6 +314,14 @@ func (c *Client) Submit(ctx context.Context, req serve.PlaceRequest) (serve.JobS
 	body, err := json.Marshal(req)
 	if err != nil {
 		return serve.JobStatus{}, err
+	}
+	// Submissions travel under the request's canonical trace — the same
+	// derivation the server falls back to — so the trace ID a caller
+	// computes client-side (serve.RequestTrace) is the one that shows up
+	// in the server's spans and the job's status, retries and idempotent
+	// resubmissions included.
+	if _, ok := obs.TraceFromContext(ctx); !ok {
+		ctx = obs.ContextWithTrace(ctx, serve.RequestTrace(req))
 	}
 	var js serve.JobStatus
 	if err := c.roundTrip(ctx, req.ClientKey+"/submit", http.MethodPost, "/v1/place", body, &js); err != nil {
@@ -327,4 +375,43 @@ func (c *Client) Run(ctx context.Context, req serve.PlaceRequest) (serve.JobStat
 		return js, nil
 	}
 	return c.Wait(ctx, js.ID)
+}
+
+// CreateStream opens a streaming placement session.
+func (c *Client) CreateStream(ctx context.Context, req serve.StreamRequest) (serve.StreamStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return serve.StreamStatus{}, err
+	}
+	var st serve.StreamStatus
+	if err := c.roundTrip(ctx, "stream/create", http.MethodPost, "/v1/streams", body, &st); err != nil {
+		return serve.StreamStatus{}, err
+	}
+	return st, nil
+}
+
+// AppendStream feeds a batch of accesses into a session and returns the
+// resulting status. Appends are NOT idempotent on the server (each
+// journaled batch is applied), so retries here can double-apply a batch
+// whose response was lost; callers that need exactly-once should treat
+// an AppendStream error as "stream state unknown" and re-read it.
+func (c *Client) AppendStream(ctx context.Context, id string, accesses []int) (serve.StreamStatus, error) {
+	body, err := json.Marshal(serve.StreamAppendRequest{Accesses: accesses})
+	if err != nil {
+		return serve.StreamStatus{}, err
+	}
+	var st serve.StreamStatus
+	if err := c.roundTrip(ctx, id+"/append", http.MethodPost, "/v1/streams/"+id+"/append", body, &st); err != nil {
+		return serve.StreamStatus{}, err
+	}
+	return st, nil
+}
+
+// DeleteStream closes a session and returns its final status.
+func (c *Client) DeleteStream(ctx context.Context, id string) (serve.StreamStatus, error) {
+	var st serve.StreamStatus
+	if err := c.roundTrip(ctx, id+"/delete", http.MethodDelete, "/v1/streams/"+id, nil, &st); err != nil {
+		return serve.StreamStatus{}, err
+	}
+	return st, nil
 }

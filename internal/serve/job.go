@@ -34,6 +34,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/graph"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -72,6 +73,12 @@ type PlaceRequest struct {
 	// opaque client-chosen token also works. ClientKey is not part of
 	// the request's identity — it never influences the placement.
 	ClientKey string `json:"client_key,omitempty"`
+	// Tenant attributes the request to a caller for the per-tenant
+	// labeled metrics (serve.tenant.*). Like ClientKey it is pure
+	// attribution: it is excluded from the request's identity digest and
+	// never influences the placement, so two tenants submitting the same
+	// request share one computation.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // TraceInfo summarizes the uploaded trace in job responses.
@@ -110,6 +117,12 @@ type JobStatus struct {
 	// request and the worker pool never ran. It sits outside Result so
 	// duplicate submissions stay byte-identical on the result payload.
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// TraceID is the job's cross-process trace: the trace ID from the
+	// caller's traceparent header, or the deterministic derivation from
+	// the request identity when the caller sent none (see RequestTrace).
+	// It survives journal replay, so a recovered job still answers polls
+	// with the trace the original caller is following in /debug/events.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // JobProgress is the live view of a running annealing job, fed by the
@@ -142,6 +155,7 @@ type job struct {
 	id       string
 	req      PlaceRequest
 	tr       *trace.Trace
+	tc       obs.TraceContext // the job's trace identity, set at acceptance
 	resume   layout.Placement // optional starting placement from a resumed job
 	enqueued time.Time        // set at acceptance, read for the queue-wait timer
 
@@ -229,6 +243,7 @@ func (j *job) snapshot(now time.Time) JobStatus {
 		Error:     j.errMsg,
 		ElapsedMS: j.elapsedMS,
 		CacheHit:  j.cacheHit,
+		TraceID:   j.tc.TraceID,
 	}
 	if len(j.prog) > 0 {
 		p := &JobProgress{CheckpointAgeMS: -1}

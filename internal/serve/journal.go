@@ -38,6 +38,7 @@ package serve
 // one instead of wedging recovery.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -80,6 +81,12 @@ type journalRecord struct {
 	// re-derive everything else.
 	Req    *PlaceRequest  `json:"req,omitempty"`
 	Stream *StreamRequest `json:"stream,omitempty"`
+	// job.accept also carries the job's trace context in traceparent wire
+	// form, so a journal-recovered job keeps answering polls with the
+	// trace ID the original caller is following. Older journals lack the
+	// field; replay falls back to the deterministic derivation
+	// (RequestTrace), which matches what an uninstrumented caller got.
+	Trace string `json:"trace,omitempty"`
 	// job.ckpt carries the improved best-so-far.
 	Placement []int `json:"placement,omitempty"`
 	Cost      int64 `json:"cost,omitempty"`
@@ -98,21 +105,29 @@ type journal struct {
 	log *wal.Log
 }
 
-// append marshals and commits one record. Errors are returned for the
+// append marshals and commits one record, under a span so the WAL
+// fsync shows up in the caller's trace (ctx carries the request's
+// TraceContext; the span machinery is inert and clock reads stay inside
+// internal/obs, so this file remains pure). Errors are returned for the
 // caller to decide: acceptance paths refuse the request (durability
 // unavailable = not accepted), completion paths degrade (the work is
 // done; replay will re-derive it).
-func (jl *journal) append(rec journalRecord) error {
+func (jl *journal) append(ctx context.Context, rec journalRecord) error {
 	if jl == nil || jl.log == nil {
 		return nil
 	}
+	_, span := obs.StartSpan(ctx, "serve.wal.append")
+	defer span.End()
+	span.SetAttr("type", rec.T).SetAttr("id", rec.ID)
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		obsJournalErrors.Inc()
+		span.SetAttr("failed", true)
 		return fmt.Errorf("journal: marshal %s: %w", rec.T, err)
 	}
 	if err := jl.log.Append(payload); err != nil {
 		obsJournalErrors.Inc()
+		span.SetAttr("failed", true)
 		return fmt.Errorf("journal: %w", err)
 	}
 	return nil
@@ -125,6 +140,18 @@ func (jl *journal) append(rec journalRecord) error {
 // 429 Retry-After jitter.
 func RequestKey(req PlaceRequest) string {
 	return fmt.Sprintf("%016x", requestDigest(req))
+}
+
+// RequestTrace derives the deterministic TraceContext for a request
+// that arrived without a traceparent header: a pure function of the
+// request's identity key, so the same request always carries the same
+// trace ID — an idempotent resubmission, a journal-replayed recovery,
+// and the client-side load generator all compute the identical ID
+// without coordinating. The serve client uses the same derivation when
+// it injects the header, so client- and server-side spans of one
+// request agree even before the first response round-trips.
+func RequestTrace(req PlaceRequest) obs.TraceContext {
+	return obs.DeriveTraceContext("place/" + RequestKey(req))
 }
 
 // requestDigest is RequestKey's raw form: FNV-64a over the identity
@@ -149,11 +176,22 @@ func requestDigest(req PlaceRequest) uint64 {
 type recoveredJob struct {
 	id       string
 	req      PlaceRequest
+	trace    string // traceparent wire form from job.accept, may be empty
 	ckpt     []int
 	ckptCost int64
 	result   *Result
 	cacheHit bool
 	errMsg   string
+}
+
+// traceContext resolves the recovered job's trace identity: the
+// journaled traceparent when present and well-formed, else the
+// deterministic derivation from the request.
+func (r *recoveredJob) traceContext() obs.TraceContext {
+	if tc, ok := obs.ParseTraceParent(r.trace); ok {
+		return tc
+	}
+	return RequestTrace(r.req)
 }
 
 // terminal reports whether the job reached a journaled end state.
@@ -232,7 +270,7 @@ func (st *replayState) apply(rec journalRecord) {
 			obsRecordSkips.Inc()
 			return
 		}
-		st.jobs[rec.ID] = &recoveredJob{id: rec.ID, req: *rec.Req}
+		st.jobs[rec.ID] = &recoveredJob{id: rec.ID, req: *rec.Req, trace: rec.Trace}
 		st.jobOrder = append(st.jobOrder, rec.ID)
 		if n := idSeq(rec.ID); n > st.maxJobSeq {
 			st.maxJobSeq = n

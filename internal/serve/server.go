@@ -67,7 +67,64 @@ var (
 	obsStreamAccesses = obs.GetCounter("serve.stream.accesses")
 	obsStreamAppendMS = obs.GetHistogram("serve.stream.append_ms",
 		[]float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000})
+	// Per-tenant attribution (DESIGN.md §16). The label sets are small
+	// and bounded: tenant comes from PlaceRequest.Tenant through
+	// tenantLabel (normalized, vec-capped with overflow collapsing into
+	// "_other"), policy through policyLabel (the validated policy set),
+	// and outcome is a closed enum of the handlePlace exits. The wall_ms
+	// histogram records each job's trace ID as a bucket exemplar, so a
+	// slow tenant's latency bucket links straight to a drainable trace in
+	// /debug/events.
+	obsTenantRequests = obs.GetCounterVec("serve.tenant.requests",
+		[]string{"tenant", "policy", "outcome"})
+	obsTenantWallMS = obs.GetHistogramVec("serve.tenant.wall_ms",
+		[]string{"tenant"},
+		[]float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000})
 )
+
+// Outcome label values for serve.tenant.requests — a closed set, one
+// per handlePlace exit.
+const (
+	outcomeAccepted    = "accepted"
+	outcomeCacheHit    = "cache_hit"
+	outcomeDeduped     = "deduped"
+	outcomeInvalid     = "invalid"
+	outcomeRejected    = "rejected"
+	outcomeUnavailable = "unavailable"
+)
+
+// tenantLabel normalizes a request's tenant for the labeled series:
+// empty means "default", and anything longer than 64 bytes is truncated
+// (the vec's cardinality cap bounds the series count either way; this
+// just keeps individual label values scrape-friendly).
+func tenantLabel(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	if len(tenant) > 64 {
+		return tenant[:64]
+	}
+	return tenant
+}
+
+// policyLabel normalizes a request's policy for the labeled series:
+// empty selects the default policy name, and an unknown (rejected)
+// policy collapses into the overflow value so a hostile policy string
+// can never mint a series.
+func policyLabel(policy string) string {
+	if policy == "" {
+		return PolicyAnneal
+	}
+	if !validPolicy(policy) {
+		return obs.OverflowLabel
+	}
+	return policy
+}
+
+// countRequest stamps one request outcome on the per-tenant series.
+func countRequest(req PlaceRequest, outcome string) {
+	obsTenantRequests.With(tenantLabel(req.Tenant), policyLabel(req.Policy), outcome).Inc()
+}
 
 // Options configures a Server. The zero value selects the defaults.
 type Options struct {
@@ -210,8 +267,11 @@ func New(opts Options) (*Server, error) {
 	}
 	s.queue = make(chan *job, qcap)
 	for _, j := range requeue {
-		s.queue <- j
+		// Depth accounting is symmetric with handlePlace: increment
+		// strictly before the send, decrement at the dequeue in runJob, so
+		// the gauge can never go transiently negative.
 		obsQueueDepth.Add(1)
+		s.queue <- j
 		obsRequeuedJobs.Inc()
 	}
 	s.mux.HandleFunc("POST /v1/place", s.handlePlace)
@@ -278,7 +338,7 @@ func (s *Server) recover() ([]*job, error) {
 	for _, id := range st.jobOrder {
 		rec := st.jobs[id]
 		tr, terr := parseTrace(rec.req)
-		j := &job{id: id, req: rec.req, tr: tr}
+		j := &job{id: id, req: rec.req, tr: tr, tc: rec.traceContext()}
 		switch {
 		case terr != nil:
 			// The trace was valid when accepted (acceptance journals after
@@ -417,25 +477,48 @@ type eventsResponse struct {
 	// Enabled reports whether the span tracer is on (Options.EventBuffer
 	// or an explicit obs.EnableTracing).
 	Enabled bool `json:"enabled"`
-	// Dropped counts spans overwritten in the ring since the last drain.
+	// Dropped counts spans overwritten in the ring since the last drain
+	// — the exact number of spans this response is missing, so a scraper
+	// can tell a quiet server from an undersized ring.
 	Dropped int64 `json:"dropped"`
-	// Spans are the buffered span records, oldest first. Draining
-	// empties the ring — each span is delivered to exactly one caller.
+	// Spans are the buffered span records, sorted by (trace, start
+	// sequence): all spans of one trace are contiguous, ordered by when
+	// they started (a span's ID is its start sequence), with untraced
+	// spans first under the empty trace. Draining empties the ring —
+	// each span is delivered to exactly one caller.
 	Spans []obs.SpanRecord `json:"spans"`
 }
 
-// handleEvents drains the process-wide span ring as JSON. It is a
-// consuming read: two concurrent scrapers split the stream between them.
+// handleEvents drains the process-wide span ring as JSON. The response
+// contract: it is a consuming read (two concurrent scrapers split the
+// stream between them; each span is delivered exactly once), spans come
+// back grouped by trace in start order, and Dropped is the exact count
+// of spans overwritten since the previous drain.
 func handleEvents(w http.ResponseWriter, _ *http.Request) {
 	spans, dropped := obs.DrainSpans()
 	if spans == nil {
 		spans = []obs.SpanRecord{}
 	}
+	obs.SortSpans(spans)
 	writeJSON(w, http.StatusOK, eventsResponse{
 		Enabled: obs.TracingEnabled(),
 		Dropped: dropped,
 		Spans:   spans,
 	})
+}
+
+// traceRequestContext returns the request's context extended with the
+// caller's traceparent header, when one is present and well-formed —
+// the extraction half of cross-process propagation. Handlers that mint
+// jobs derive a fallback trace from the request identity instead (see
+// handlePlace); for everything else an absent header simply means the
+// spans stay untraced.
+func traceRequestContext(r *http.Request) context.Context {
+	tc, ok := obs.ParseTraceParent(r.Header.Get("traceparent"))
+	if !ok {
+		return r.Context()
+	}
+	return obs.ContextWithTrace(r.Context(), tc)
 }
 
 // apiError is the JSON error envelope.
@@ -457,22 +540,35 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	var req PlaceRequest
 	body := http.MaxBytesReader(w, r.Body, 64<<20)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		countRequest(req, outcomeInvalid)
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid request body: " + err.Error()})
 		return
 	}
 	tr, err := parseTrace(req)
 	if err != nil {
+		countRequest(req, outcomeInvalid)
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
 	if !validPolicy(req.Policy) {
+		countRequest(req, outcomeInvalid)
 		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("unknown policy %q", req.Policy)})
 		return
 	}
+	// Adopt the caller's trace when the request carries a traceparent
+	// header; otherwise derive it from the request identity, so every
+	// job has a trace ID and an uninstrumented caller still gets the
+	// same ID the serve client would have injected. rctx threads the
+	// trace through the acceptance path (journal spans nest under it).
+	tc, ok := obs.ParseTraceParent(r.Header.Get("traceparent"))
+	if !ok {
+		tc = RequestTrace(req)
+	}
+	rctx := obs.ContextWithTrace(r.Context(), tc)
 	// Idempotent resubmission: a ClientKey that already owns a job —
 	// whether from this process's lifetime or rebuilt from the journal —
 	// returns that job instead of minting a duplicate. First wins; the
-	// winning job's result is what every resubmission sees.
+	// winning job's result (and trace ID) is what every resubmission sees.
 	if req.ClientKey != "" {
 		s.mu.Lock()
 		id, dup := s.byKey[req.ClientKey]
@@ -483,6 +579,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		if prev != nil {
 			obsDeduped.Inc()
+			countRequest(req, outcomeDeduped)
 			writeJSON(w, http.StatusOK, prev.snapshot(time.Now()))
 			return
 		}
@@ -491,15 +588,18 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	if req.Resume != "" {
 		prev, ok := s.lookup(req.Resume)
 		if !ok {
+			countRequest(req, outcomeInvalid)
 			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("resume: unknown job %q", req.Resume)})
 			return
 		}
 		best, ok := prev.best()
 		if !ok {
+			countRequest(req, outcomeInvalid)
 			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("resume: job %q has no checkpoint yet", req.Resume)})
 			return
 		}
 		if len(best) != tr.NumItems {
+			countRequest(req, outcomeInvalid)
 			writeJSON(w, http.StatusBadRequest, apiError{
 				Error: fmt.Sprintf("resume: job %q covers %d items, trace has %d", req.Resume, len(best), tr.NumItems)})
 			return
@@ -524,6 +624,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		if !s.accepting {
 			s.mu.Unlock()
+			countRequest(req, outcomeUnavailable)
 			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
 			return
 		}
@@ -532,17 +633,20 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 			id:       fmt.Sprintf("job-%06d", s.nextID),
 			req:      req,
 			tr:       tr,
+			tc:       tc,
 			status:   statusDone,
 			result:   plan.hit,
 			cacheHit: true,
 		}
-		if err := s.jl.append(journalRecord{T: recJobAccept, ID: j.id, Req: &req}); err != nil {
+		if err := s.jl.append(rctx, journalRecord{T: recJobAccept, ID: j.id, Req: &req, Trace: tc.TraceParent()}); err != nil {
 			s.mu.Unlock()
+			countRequest(req, outcomeUnavailable)
 			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "journal unavailable: " + err.Error()})
 			return
 		}
-		if err := s.jl.append(journalRecord{T: recJobDone, ID: j.id, Result: plan.hit, CacheHit: true}); err != nil {
+		if err := s.jl.append(rctx, journalRecord{T: recJobDone, ID: j.id, Result: plan.hit, CacheHit: true}); err != nil {
 			s.mu.Unlock()
+			countRequest(req, outcomeUnavailable)
 			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "journal unavailable: " + err.Error()})
 			return
 		}
@@ -556,6 +660,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		obsAccepted.Inc()
 		obsDone.Inc()
 		obsCacheHits.Inc()
+		countRequest(req, outcomeCacheHit)
 		writeJSON(w, http.StatusAccepted, j.snapshot(time.Now()))
 		return
 	}
@@ -570,6 +675,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if !s.accepting {
 		s.mu.Unlock()
+		countRequest(req, outcomeUnavailable)
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is shutting down"})
 		return
 	}
@@ -582,6 +688,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	if len(s.queue) >= s.opts.queueCap() {
 		s.mu.Unlock()
 		obsRejected.Inc()
+		countRequest(req, outcomeRejected)
 		// Retry-After carries deterministic jitter derived from the
 		// request's identity hash: a thundering herd of distinct retriers
 		// spreads out, while any given request always hears the same
@@ -598,6 +705,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		id:       fmt.Sprintf("job-%06d", s.nextID),
 		req:      req,
 		tr:       tr,
+		tc:       tc,
 		resume:   resume,
 		plan:     plan,
 		status:   statusQueued,
@@ -609,11 +717,17 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	// journal is unavailable the job is not accepted — durability was
 	// the promise the 202 would have made. (The minted ID is skipped,
 	// like the pre-journal queue-full path.)
-	if err := s.jl.append(journalRecord{T: recJobAccept, ID: j.id, Req: &req}); err != nil {
+	if err := s.jl.append(rctx, journalRecord{T: recJobAccept, ID: j.id, Req: &req, Trace: tc.TraceParent()}); err != nil {
 		s.mu.Unlock()
+		countRequest(req, outcomeUnavailable)
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "journal unavailable: " + err.Error()})
 		return
 	}
+	// Queue-depth accounting is symmetric by construction: the gauge is
+	// incremented under s.mu strictly before the send, and decremented by
+	// the worker at the dequeue — so a worker that pops the job the
+	// instant it lands can never observe (or produce) a negative depth.
+	obsQueueDepth.Add(1)
 	s.queue <- j
 	s.jobs[j.id] = j
 	if req.ClientKey != "" {
@@ -623,11 +737,12 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	obsAccepted.Inc()
-	obsQueueDepth.Add(1)
+	countRequest(req, outcomeAccepted)
 	writeJSON(w, http.StatusAccepted, JobStatus{
-		ID:     j.id,
-		Status: statusQueued,
-		Trace:  TraceInfo{Name: tr.Name, Accesses: tr.Len(), Items: tr.NumItems},
+		ID:      j.id,
+		Status:  statusQueued,
+		Trace:   TraceInfo{Name: tr.Name, Accesses: tr.Len(), Items: tr.NumItems},
+		TraceID: tc.TraceID,
 	})
 }
 
@@ -690,7 +805,7 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Journal the creation before the stream becomes visible: a 201 is a
 	// durability promise, same as a job's 202.
-	if err := s.jl.append(journalRecord{T: recStreamCreate, ID: id, Stream: &req}); err != nil {
+	if err := s.jl.append(traceRequestContext(r), journalRecord{T: recStreamCreate, ID: id, Stream: &req}); err != nil {
 		s.mu.Unlock()
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "journal unavailable: " + err.Error()})
 		return
@@ -735,7 +850,7 @@ func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	_, span := obs.StartSpan(r.Context(), "serve.stream.append")
+	sctx, span := obs.StartSpan(traceRequestContext(r), "serve.stream.append")
 	defer span.End()
 	span.SetAttr("stream", st.id).SetAttr("accesses", len(req.Accesses))
 	// Journal-then-apply, both under the stream's own lock: the journal's
@@ -745,7 +860,7 @@ func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
 	// the session rejects was journaled but is harmless: replay re-rejects
 	// it identically (session validation is deterministic).
 	st.mu.Lock()
-	if err := s.jl.append(journalRecord{T: recStreamAppend, ID: st.id, Accesses: req.Accesses}); err != nil {
+	if err := s.jl.append(sctx, journalRecord{T: recStreamAppend, ID: st.id, Accesses: req.Accesses}); err != nil {
 		st.mu.Unlock()
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "journal unavailable: " + err.Error()})
 		return
@@ -755,8 +870,15 @@ func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
 	// it completes even if the client goes away — the same accepted-work-
 	// is-never-dropped stance the job queue takes, and a prerequisite for
 	// the determinism contract (a half-applied append is not replayable).
+	// Only the cancellation chain is severed: the trace context rides
+	// along so the session's improvement-round spans stay in the caller's
+	// trace.
 	//dwmlint:ignore ctxflow deliberate severing: an admitted append must complete even if the client disconnects, or a half-applied append would make the stream unreplayable
-	err := st.sess.Append(context.Background(), req.Accesses)
+	actx := context.Background()
+	if tc, ok := obs.TraceFromContext(sctx); ok {
+		actx = obs.ContextWithTrace(actx, tc)
+	}
+	err := st.sess.Append(actx, req.Accesses)
 	st.mu.Unlock()
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
@@ -793,7 +915,7 @@ func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
 		// everything past the tombstone). If the tombstone cannot be
 		// written the stream stays registered, so journal and registry
 		// never disagree.
-		if err := s.jl.append(journalRecord{T: recStreamDelete, ID: id}); err != nil {
+		if err := s.jl.append(traceRequestContext(r), journalRecord{T: recStreamDelete, ID: id}); err != nil {
 			s.mu.Unlock()
 			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "journal unavailable: " + err.Error()})
 			return
@@ -827,7 +949,12 @@ func (s *Server) runJob(j *job) {
 	obsQueueDepth.Add(-1)
 	start := time.Now()
 
-	base := context.Background()
+	// The job runs detached from the submitting request's lifetime (the
+	// 202 already went out), but inside its trace: the job's TraceContext
+	// re-enters the context here, so the run span — and through it the
+	// anneal chain spans and journal appends — lands in the caller's
+	// trace, journal replay included (j.tc survives recovery).
+	base := obs.ContextWithTrace(context.Background(), j.tc)
 	var cancels []context.CancelFunc
 	if d := s.opts.deadlineFor(j.req); d > 0 {
 		ctx, cancel := context.WithTimeout(base, d)
@@ -860,6 +987,10 @@ func (s *Server) runJob(j *job) {
 		elapsed := time.Since(start)
 		obsJobWall.Observe(elapsed)
 		obsJobWallMS.Observe(elapsed.Milliseconds())
+		// The per-tenant latency series records the job's trace ID as a
+		// bucket exemplar: the /metrics scrape links a slow bucket to a
+		// concrete drainable trace.
+		obsTenantWallMS.With(tenantLabel(j.req.Tenant)).ObserveTrace(elapsed.Milliseconds(), j.tc.TraceID)
 		span.SetAttr("failed", errMsg != "")
 		j.mu.Lock()
 		j.elapsedMS = elapsed.Milliseconds()
@@ -882,9 +1013,9 @@ func (s *Server) runJob(j *job) {
 		// GET; a crash before the record lands just means replay re-derives
 		// the same bytes the hard way.
 		if errMsg != "" {
-			_ = s.jl.append(journalRecord{T: recJobFailed, ID: j.id, Err: errMsg})
+			_ = s.jl.append(ctx, journalRecord{T: recJobFailed, ID: j.id, Err: errMsg})
 		} else {
-			_ = s.jl.append(journalRecord{T: recJobDone, ID: j.id, Result: res})
+			_ = s.jl.append(ctx, journalRecord{T: recJobDone, ID: j.id, Result: res})
 		}
 	}
 
@@ -902,7 +1033,7 @@ func (s *Server) runJob(j *job) {
 	// concurrent chains' appends.
 	checkpoint := func(p layout.Placement, c int64) {
 		if j.recordCheckpoint(p, c, time.Now()) {
-			_ = s.jl.append(journalRecord{T: recJobCheckpoint, ID: j.id, Placement: p, Cost: c})
+			_ = s.jl.append(ctx, journalRecord{T: recJobCheckpoint, ID: j.id, Placement: p, Cost: c})
 		}
 	}
 	var prebuiltGraph *graph.Graph
